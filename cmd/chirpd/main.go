@@ -1,0 +1,56 @@
+// Command chirpd serves a local directory over the chirp protocol — the
+// storage-element role in a Lobster deployment.
+//
+// Usage:
+//
+//	chirpd -addr 127.0.0.1:9094 -root /data/storage -max-concurrent 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"lobster/internal/chirp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9094", "listen address")
+	root := flag.String("root", "./chirp-export", "directory to export")
+	maxConc := flag.Int("max-concurrent", 16, "concurrently served connections")
+	flag.Parse()
+
+	fs, err := chirp.NewLocalFS(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chirpd:", err)
+		os.Exit(1)
+	}
+	srv, err := chirp.NewServer(fs, *addr, *maxConc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chirpd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chirpd: exporting %s on %s (max %d concurrent)\n", fs.Root(), srv.Addr(), *maxConc)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	st := srv.Stats()
+	fmt.Printf("\nchirpd: shutting down — %d connections, %d requests, %s in, %s out\n",
+		st.Connections, st.Requests, byteCount(st.BytesIn), byteCount(st.BytesOut))
+	srv.Close()
+}
+
+func byteCount(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

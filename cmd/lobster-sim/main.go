@@ -1,0 +1,147 @@
+// Command lobster-sim runs the component-level simulations of the paper's
+// §4: the worker-availability analysis (Figure 2) and the task-size
+// efficiency study (Figure 3), plus the adaptive-sizing extension.
+//
+// Usage:
+//
+//	lobster-sim fig2
+//	lobster-sim fig3 -tasklets 100000 -workers 8000 -max-hours 10
+//	lobster-sim adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lobster/internal/cluster"
+	"lobster/internal/sim"
+	"lobster/internal/stats"
+	"lobster/internal/tabulate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "fig2":
+		err = fig2(os.Args[2:])
+	case "fig3":
+		err = fig3(os.Args[2:])
+	case "adaptive":
+		err = adaptive(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lobster-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lobster-sim <fig2|fig3|adaptive> [flags]
+  fig2      worker eviction probability vs availability time
+  fig3      efficiency vs task length under three eviction scenarios
+  adaptive  static vs rate-adaptive task sizing under a regime shift`)
+	os.Exit(2)
+}
+
+func trace(seed uint64, runs int) ([]cluster.Session, error) {
+	cfg := cluster.DefaultTraceConfig()
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	return cluster.GenerateTrace(cfg, stats.NewRand(seed))
+}
+
+func fig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	seed := fs.Uint64("seed", 2, "trace seed")
+	runs := fs.Int("runs", 0, "number of Lobster runs in the trace (0 = default)")
+	bins := fs.Int("bins", 24, "availability-time bins")
+	maxH := fs.Float64("max-hours", 24, "availability axis maximum, hours")
+	fs.Parse(args)
+
+	sessions, err := trace(*seed, *runs)
+	if err != nil {
+		return err
+	}
+	st := cluster.Summarize(sessions)
+	fmt.Printf("trace: %d sessions, %d evictions (rate %.2f), mean evicted life %s\n\n",
+		st.Sessions, st.Evictions, st.EvictionRate, tabulate.Duration(st.MeanLife))
+	curve, err := cluster.EvictionCurve(sessions, 0, *maxH*3600, *bins)
+	if err != nil {
+		return err
+	}
+	tb := tabulate.NewTable("Figure 2: worker eviction probability (binomial errors)",
+		"availability", "P(evict)", "+-", "sessions")
+	for _, p := range curve {
+		tb.Row(tabulate.Duration(p.T), fmt.Sprintf("%.3f", p.P), fmt.Sprintf("%.3f", p.Err), p.N)
+	}
+	fmt.Println(tb.Render())
+	return nil
+}
+
+func fig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	tasklets := fs.Int("tasklets", 100000, "tasklets to process (paper: 100000)")
+	workers := fs.Int("workers", 8000, "workers (paper: 8000)")
+	maxHours := fs.Int("max-hours", 10, "largest task length, hours")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	fs.Parse(args)
+
+	cfg := sim.DefaultTaskSizeConfig()
+	cfg.Tasklets = *tasklets
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	sessions, err := trace(2, 0)
+	if err != nil {
+		return err
+	}
+	surv, err := cluster.SurvivalDistribution(sessions)
+	if err != nil {
+		return err
+	}
+	results, err := sim.Figure3(cfg, surv, *maxHours)
+	if err != nil {
+		return err
+	}
+	tb := tabulate.NewTable("Figure 3: efficiency by average task length", "scenario")
+	header := []any{"scenario"}
+	_ = header
+	for _, r := range results {
+		row := []any{r.Scenario}
+		for _, p := range r.Points {
+			row = append(row, fmt.Sprintf("%.2f@%gh", p.Efficiency, p.TaskHours))
+		}
+		tb.Row(row...)
+	}
+	fmt.Println(tb.Render())
+	for _, r := range results {
+		h, eff := sim.PeakEfficiency(r.Points)
+		fmt.Printf("  %-9s peak efficiency %.2f at %g h tasks\n", r.Scenario, eff, h)
+	}
+	return nil
+}
+
+func adaptive(args []string) error {
+	fs := flag.NewFlagSet("adaptive", flag.ExitOnError)
+	staticSize := fs.Int("static-size", 18, "static tasklets per task")
+	fs.Parse(args)
+
+	results, err := sim.CompareAdaptive(sim.DefaultPhaseShiftConfig(), *staticSize)
+	if err != nil {
+		return err
+	}
+	tb := tabulate.NewTable("Task sizing under a mid-run eviction regime shift (calm -> hostile)",
+		"sizer", "efficiency", "evictions", "mean size", "final size")
+	for _, r := range results {
+		tb.Row(r.Sizer, fmt.Sprintf("%.3f", r.Efficiency), r.Evictions,
+			fmt.Sprintf("%.1f", r.MeanSize), r.FinalSize)
+	}
+	fmt.Println(tb.Render())
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command wq-worker joins a standalone Work Queue worker to a master (or
+// foreman). It registers the standard Lobster executors (analysis,
+// simulation, merge) configured from flags, matching how the paper's worker
+// pilots are started in bulk by a batch system.
+//
+// Usage:
+//
+//	wq-worker -master 127.0.0.1:9123 -cores 8 \
+//	    -proxy http://squid.example:3128 -chirp 127.0.0.1:9094
+//
+// With -lifetime the worker evicts itself after the given duration, which
+// is handy for demonstrating non-dedicated behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"lobster/internal/core"
+	"lobster/internal/hepsim"
+	"lobster/internal/parrot"
+	"lobster/internal/wq"
+)
+
+func main() {
+	var (
+		master   = flag.String("master", "127.0.0.1:9123", "master or foreman address")
+		name     = flag.String("name", "", "worker name (default: wq-worker-<pid>)")
+		cores    = flag.Int("cores", 8, "task slots")
+		dir      = flag.String("dir", "", "scratch directory (default: temp)")
+		proxyURL = flag.String("proxy", "", "squid/CVMFS base URL (enables software delivery)")
+		repo     = flag.String("repo", "cms.cern.ch", "CVMFS repository name")
+		release  = flag.String("release", "/CMSSW_7_4_0", "software release path")
+		chirpSE  = flag.String("chirp", "", "chirp storage element address")
+		condTag  = flag.String("conditions", "", "frontier conditions tag")
+		lifetime = flag.Duration("lifetime", 0, "self-evict after this duration (0 = never)")
+	)
+	flag.Parse()
+	if err := run(*master, *name, *cores, *dir, *proxyURL, *repo, *release,
+		*chirpSE, *condTag, *lifetime); err != nil {
+		fmt.Fprintln(os.Stderr, "wq-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(master, name string, cores int, dir, proxyURL, repo, release,
+	chirpSE, condTag string, lifetime time.Duration) error {
+	if name == "" {
+		name = fmt.Sprintf("wq-worker-%d", os.Getpid())
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "wq-worker-*")
+		if err != nil {
+			return err
+		}
+		dir = d
+	}
+	cache, err := parrot.NewCache(dir+"/cache", parrot.ModeAlien)
+	if err != nil {
+		return err
+	}
+	env := &hepsim.Env{
+		ProxyURL:      proxyURL,
+		Repo:          repo,
+		ReleasePath:   release,
+		Cache:         cache,
+		ChirpAddr:     chirpSE,
+		ConditionsTag: condTag,
+	}
+	reg := wq.Registry{
+		"analysis":   hepsim.Analysis(env),
+		"simulation": hepsim.Simulation(env),
+	}
+	if chirpSE != "" {
+		reg["merge"] = core.MergeExecutor(chirpSE)
+	}
+	w, err := wq.NewWorker(master, name, cores, dir, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wq-worker: %s connected to %s with %d cores\n", name, master, cores)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	if lifetime > 0 {
+		select {
+		case <-ch:
+		case <-time.After(lifetime):
+			fmt.Println("wq-worker: lifetime reached, self-evicting")
+			w.Evict()
+			return nil
+		}
+	} else {
+		<-ch
+	}
+	fmt.Printf("wq-worker: shutting down after %d tasks (%d failed)\n",
+		w.TasksRun(), w.TasksFailed())
+	return w.Close()
+}

@@ -1,0 +1,21 @@
+// Package lobster is the root of a from-scratch Go reproduction of
+// "Scaling Data Intensive Physics Applications to 10k Cores on
+// Non-dedicated Clusters with Lobster" (Woodard et al., IEEE CLUSTER 2015).
+//
+// The system lives under internal/: the Lobster workload manager
+// (internal/core) on top of a Work Queue execution fabric (internal/wq),
+// software delivery via content-addressed CVMFS repositories, squid proxies
+// and parrot caches (internal/cvmfs, internal/squid, internal/parrot), the
+// XrootD data federation (internal/xrootd), a Chirp storage element backed
+// by local disk or an HDFS-like cluster with MapReduce (internal/chirp,
+// internal/hdfs), dataset bookkeeping (internal/dbs), conditions data
+// (internal/frontier), a crash-safe embedded database (internal/store),
+// non-dedicated cluster modelling (internal/cluster), per-segment task
+// instrumentation and diagnosis (internal/wrapper, internal/monitor), and a
+// deterministic simulation plane that regenerates every figure and table of
+// the paper's evaluation (internal/sim, driven from bench_test.go and
+// cmd/lobster-bench).
+//
+// See README.md for a tour, DESIGN.md for the architecture and experiment
+// index, and EXPERIMENTS.md for paper-versus-measured results.
+package lobster

@@ -1,0 +1,3 @@
+module lobster
+
+go 1.22

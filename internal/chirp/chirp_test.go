@@ -1,0 +1,364 @@
+package chirp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestServer(t *testing.T, maxConcurrent int) (*Server, *LocalFS) {
+	t.Helper()
+	fs, err := NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(fs, "127.0.0.1:0", maxConcurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, fs
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr(), time.Second*5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	payload := bytes.Repeat([]byte("chirp!"), 1000)
+	if err := c.PutFile("/out/task_0.root", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetFile("/out/task_0.root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+	st := srv.Stats()
+	if st.BytesIn != int64(len(payload)) || st.BytesOut != int64(len(payload)) {
+		t.Errorf("byte accounting: in=%d out=%d", st.BytesIn, st.BytesOut)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	if err := c.PutFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty file: %v, %d bytes", err, len(got))
+	}
+}
+
+func TestAppendBuildsMergedFile(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	for i := 0; i < 3; i++ {
+		if err := c.Append("/merged.root", []byte(fmt.Sprintf("part%d;", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.GetFile("/merged.root")
+	if err != nil || string(got) != "part0;part1;part2;" {
+		t.Fatalf("merged = %q, %v", got, err)
+	}
+}
+
+func TestStatAndList(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	c.PutFile("/d/a.root", []byte("12345"))
+	c.PutFile("/d/b.root", []byte("1234567"))
+	st, err := c.Stat("/d/a.root")
+	if err != nil || st.Size != 5 || st.IsDir {
+		t.Fatalf("stat: %+v, %v", st, err)
+	}
+	st, err = c.Stat("/d")
+	if err != nil || !st.IsDir {
+		t.Fatalf("stat dir: %+v, %v", st, err)
+	}
+	ls, err := c.List("/d")
+	if err != nil || len(ls) != 2 {
+		t.Fatalf("list: %v, %v", ls, err)
+	}
+	if ls[0].Name != "a.root" || ls[0].Size != 5 || ls[1].Name != "b.root" {
+		t.Errorf("listing = %+v", ls)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	c.PutFile("/x", []byte("data"))
+	if err := c.Unlink("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile("/x"); err == nil {
+		t.Error("deleted file readable")
+	}
+	if err := c.Unlink("/x"); err == nil {
+		t.Error("double unlink succeeded")
+	}
+}
+
+func TestErrorsKeepConnectionUsable(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	if _, err := c.GetFile("/missing"); err == nil {
+		t.Fatal("missing file read")
+	}
+	// Connection must survive the error.
+	if err := c.PutFile("/after-error", []byte("ok")); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	if _, err := c.GetFile("/../../etc/passwd"); err == nil {
+		t.Error("escape path read")
+	}
+	if err := c.PutFile("/../evil", []byte("x")); err == nil {
+		t.Error("escape path written")
+	}
+	if _, err := c.GetFile("relative"); err == nil {
+		t.Error("relative path read")
+	}
+}
+
+func TestWhitespacePathRejectedClientSide(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	if err := c.PutFile("/has space", []byte("x")); err == nil {
+		t.Error("whitespace path accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newTestServer(t, 8)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr(), 5*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			path := fmt.Sprintf("/out/f%d", i)
+			payload := bytes.Repeat([]byte{byte(i)}, 1000+i)
+			if err := c.PutFile(path, payload); err != nil {
+				errs[i] = err
+				return
+			}
+			got, err := c.GetFile(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs[i] = fmt.Errorf("client %d payload mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Stats().Connections != n {
+		t.Errorf("connections = %d", srv.Stats().Connections)
+	}
+}
+
+func TestConnectionCapQueues(t *testing.T) {
+	// Cap of 1: a second client's request waits for the first connection to
+	// finish, and the queue wait is visible in stats.
+	srv, _ := newTestServer(t, 1)
+	c1 := dial(t, srv)
+	c1.PutFile("/a", []byte("x"))
+
+	done := make(chan error, 1)
+	go func() {
+		c2, err := Dial(srv.Addr(), 5*time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c2.Close()
+		_, err = c2.GetFile("/a")
+		done <- err
+	}()
+	// Hold the only slot briefly, then release by closing c1.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("second client served while slot held: %v", err)
+	default:
+	}
+	c1.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().QueueWaitSum == 0 {
+		t.Error("no queue wait recorded despite cap of 1")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	i := 0
+	check := func(data []byte) bool {
+		i++
+		path := fmt.Sprintf("/prop/f%d", i)
+		if err := c.PutFile(path, data); err != nil {
+			return false
+		}
+		got, err := c.GetFile(path)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanPath(t *testing.T) {
+	good := []string{"/a", "/a/b/c", "/a/./b", "/"}
+	for _, p := range good {
+		if _, err := CleanPath(p); err != nil {
+			t.Errorf("CleanPath(%q) = %v", p, err)
+		}
+	}
+	bad := []string{"a/b", "", "/a/../../b", "/.."}
+	for _, p := range bad {
+		if cp, err := CleanPath(p); err == nil {
+			t.Errorf("CleanPath(%q) accepted as %q", p, cp)
+		}
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	fs, _ := NewLocalFS(b.TempDir())
+	srv, err := NewServer(fs, "127.0.0.1:0", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("x"), 64<<10)
+	b.SetBytes(int64(len(payload)) * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.PutFile("/bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.GetFile("/bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = strings.TrimSpace // keep strings import if tests above change
+
+// rawSend drives the server with hand-crafted protocol lines, covering the
+// malformed-input paths a well-behaved client never exercises.
+func rawSend(t *testing.T, addr string, lines string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(lines)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, _ := conn.Read(buf)
+	return string(buf[:n])
+}
+
+func TestProtocolMalformedRequests(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	cases := []struct{ send, wantPrefix string }{
+		{"getfile\n", "-1 "},
+		{"getfile a b c\n", "-1 "},
+		{"putfile /x notanumber\n", "-1 "},
+		{"putfile /x -5\n", "-1 "},
+		{"frobnicate /x\n", "-1 "},
+		{"stat\n", "-1 "},
+		{"\n", "-1 "},
+	}
+	for _, c := range cases {
+		got := rawSend(t, srv.Addr(), c.send)
+		if !strings.HasPrefix(got, c.wantPrefix) {
+			t.Errorf("request %q: response %q", c.send, got)
+		}
+	}
+}
+
+func TestProtocolQuitClosesCleanly(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	got := rawSend(t, srv.Addr(), "quit\n")
+	if got != "" {
+		t.Errorf("quit produced output %q", got)
+	}
+}
+
+func TestClientStatParsesDirAndFile(t *testing.T) {
+	srv, _ := newTestServer(t, 4)
+	c := dial(t, srv)
+	c.PutFile("/dir/file", []byte("12345"))
+	fi, err := c.Stat("/dir")
+	if err != nil || !fi.IsDir {
+		t.Fatalf("dir stat: %+v, %v", fi, err)
+	}
+	fi, err = c.Stat("/dir/file")
+	if err != nil || fi.IsDir || fi.Size != 5 {
+		t.Fatalf("file stat: %+v, %v", fi, err)
+	}
+	if _, err := c.Stat("/missing"); err == nil {
+		t.Error("stat of missing path succeeded")
+	}
+}

@@ -1,0 +1,182 @@
+package chirp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a connection to a chirp server. A client is not safe for
+// concurrent use; open one per goroutine (connections are cheap and the
+// server's slot cap is the intended throttle).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a chirp server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("chirp: dialing %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close sends quit and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprint(c.w, "quit\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// readStatusLine reads one response line, decoding "-1 <error>" responses.
+func (c *Client) readStatusLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("chirp: reading response: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if strings.HasPrefix(line, "-1 ") {
+		return "", fmt.Errorf("chirp: server error: %s", strings.TrimPrefix(line, "-1 "))
+	}
+	if line == "-1" {
+		return "", fmt.Errorf("chirp: server error")
+	}
+	return line, nil
+}
+
+// GetFile fetches the file at path.
+func (c *Client) GetFile(path string) ([]byte, error) {
+	if err := c.send("getfile %s\n", path); err != nil {
+		return nil, err
+	}
+	line, err := c.readStatusLine()
+	if err != nil {
+		return nil, err
+	}
+	size, err := strconv.ParseInt(line, 10, 64)
+	if err != nil || size < 0 || size > MaxPayload {
+		return nil, fmt.Errorf("chirp: bad size response %q", line)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(c.r, data); err != nil {
+		return nil, fmt.Errorf("chirp: short read: %w", err)
+	}
+	return data, nil
+}
+
+// PutFile creates or replaces the file at path.
+func (c *Client) PutFile(path string, data []byte) error {
+	if err := c.send("putfile %s %d\n", path, len(data)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return fmt.Errorf("chirp: sending payload: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.readStatusLine()
+	return err
+}
+
+// Append appends data to the file at path.
+func (c *Client) Append(path string, data []byte) error {
+	if err := c.send("append %s %d\n", path, len(data)); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.readStatusLine()
+	return err
+}
+
+// Stat returns info for the entry at path.
+func (c *Client) Stat(path string) (FileInfo, error) {
+	if err := c.send("stat %s\n", path); err != nil {
+		return FileInfo{}, err
+	}
+	line, err := c.readStatusLine()
+	if err != nil {
+		return FileInfo{}, err
+	}
+	var size int64
+	var kind string
+	if _, err := fmt.Sscanf(line, "%d %s", &size, &kind); err != nil {
+		return FileInfo{}, fmt.Errorf("chirp: bad stat response %q", line)
+	}
+	return FileInfo{Name: path, Size: size, IsDir: kind == "dir"}, nil
+}
+
+// List returns the entries of the directory at path.
+func (c *Client) List(path string) ([]FileInfo, error) {
+	if err := c.send("ls %s\n", path); err != nil {
+		return nil, err
+	}
+	line, err := c.readStatusLine()
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(line)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("chirp: bad count response %q", line)
+	}
+	out := make([]FileInfo, 0, n)
+	for i := 0; i < n; i++ {
+		entry, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("chirp: truncated listing: %w", err)
+		}
+		entry = strings.TrimRight(entry, "\r\n")
+		parts := strings.SplitN(entry, " ", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("chirp: bad listing line %q", entry)
+		}
+		size, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("chirp: bad listing size %q", parts[0])
+		}
+		out = append(out, FileInfo{Name: parts[2], Size: size, IsDir: parts[1] == "d"})
+	}
+	return out, nil
+}
+
+// Unlink removes the file at path.
+func (c *Client) Unlink(path string) error {
+	if err := c.send("unlink %s\n", path); err != nil {
+		return err
+	}
+	_, err := c.readStatusLine()
+	return err
+}
+
+func (c *Client) send(format string, args ...any) error {
+	// Reject paths with whitespace or newlines: the line protocol cannot
+	// carry them, and silently mangling paths would corrupt data.
+	for _, a := range args {
+		if s, ok := a.(string); ok && strings.ContainsAny(s, " \t\r\n") {
+			return fmt.Errorf("chirp: path %q contains whitespace", s)
+		}
+	}
+	if _, err := fmt.Fprintf(c.w, format, args...); err != nil {
+		return fmt.Errorf("chirp: sending request: %w", err)
+	}
+	return c.w.Flush()
+}

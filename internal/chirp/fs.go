@@ -1,0 +1,200 @@
+// Package chirp implements a user-level file server and client modelled on
+// the Chirp system the paper uses for output staging: an unprivileged TCP
+// server exporting a directory tree (or any FileSystem backend, such as the
+// hdfs package) with simple get/put/stat/list operations.
+//
+// The server bounds concurrently-served requests; excess connections queue.
+// This is exactly the mechanism behind the periodic stage-out waves in the
+// paper's Figure 11: waves of simultaneously-finishing tasks overrun the
+// connection cap and are served in batches.
+package chirp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileInfo describes one entry in a directory listing.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// FileSystem is the backend a Server exports. Implementations must be safe
+// for concurrent use.
+type FileSystem interface {
+	// ReadFile returns the content of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or replaces the file at path, creating parents.
+	WriteFile(path string, data []byte) error
+	// Append appends data to the file at path, creating it if needed.
+	Append(path string, data []byte) error
+	// Stat returns info for the entry at path.
+	Stat(path string) (FileInfo, error)
+	// List returns the entries of the directory at path, sorted by name.
+	List(path string) ([]FileInfo, error)
+	// Remove deletes the file at path.
+	Remove(path string) error
+}
+
+// CleanPath validates and normalises a client-supplied path: it must be
+// absolute, slash-separated, and free of "..".
+func CleanPath(p string) (string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return "", fmt.Errorf("chirp: path %q must be absolute", p)
+	}
+	// Reject ".." outright rather than relying on Clean semantics: a path
+	// that even mentions the parent directory is never legitimate here.
+	for _, part := range strings.Split(p, "/") {
+		if part == ".." {
+			return "", fmt.Errorf("chirp: path %q escapes the export root", p)
+		}
+	}
+	return path.Clean(p), nil
+}
+
+// LocalFS exports a directory of the local file system.
+type LocalFS struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// NewLocalFS returns a FileSystem rooted at dir, creating it if necessary.
+func NewLocalFS(dir string) (*LocalFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chirp: creating export root: %w", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalFS{root: abs}, nil
+}
+
+// Root returns the exported directory.
+func (l *LocalFS) Root() string { return l.root }
+
+func (l *LocalFS) resolve(p string) (string, error) {
+	cleaned, err := CleanPath(p)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(l.root, filepath.FromSlash(cleaned)), nil
+}
+
+// ReadFile implements FileSystem.
+func (l *LocalFS) ReadFile(p string) ([]byte, error) {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	data, err := os.ReadFile(fp)
+	if err != nil {
+		return nil, fmt.Errorf("chirp: reading %s: %w", p, err)
+	}
+	return data, nil
+}
+
+// WriteFile implements FileSystem.
+func (l *LocalFS) WriteFile(p string, data []byte) error {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		return fmt.Errorf("chirp: creating parents of %s: %w", p, err)
+	}
+	if err := os.WriteFile(fp, data, 0o644); err != nil {
+		return fmt.Errorf("chirp: writing %s: %w", p, err)
+	}
+	return nil
+}
+
+// Append implements FileSystem.
+func (l *LocalFS) Append(p string, data []byte) error {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(fp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("chirp: appending %s: %w", p, err)
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("chirp: appending %s: %w", p, err)
+	}
+	return nil
+}
+
+// Stat implements FileSystem.
+func (l *LocalFS) Stat(p string) (FileInfo, error) {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	st, err := os.Stat(fp)
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("chirp: stat %s: %w", p, err)
+	}
+	return FileInfo{Name: st.Name(), Size: st.Size(), IsDir: st.IsDir()}, nil
+}
+
+// List implements FileSystem.
+func (l *LocalFS) List(p string) ([]FileInfo, error) {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	entries, err := os.ReadDir(fp)
+	if err != nil {
+		return nil, fmt.Errorf("chirp: listing %s: %w", p, err)
+	}
+	out := make([]FileInfo, 0, len(entries))
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, FileInfo{Name: e.Name(), Size: info.Size(), IsDir: e.IsDir()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove implements FileSystem.
+func (l *LocalFS) Remove(p string) error {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := os.Remove(fp); err != nil {
+		return fmt.Errorf("chirp: removing %s: %w", p, err)
+	}
+	return nil
+}
+
+// ReadAll is a convenience for streaming reads from io.Reader backends.
+func ReadAll(r io.Reader) ([]byte, error) { return io.ReadAll(r) }

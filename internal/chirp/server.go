@@ -1,0 +1,252 @@
+package chirp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Protocol: each request is one text line; commands carrying data follow the
+// line immediately with exactly the announced number of payload bytes.
+//
+//	getfile <path>            → "<size>\n" + bytes | "-1 <error>\n"
+//	putfile <path> <size>\n<bytes> → "0\n" | "-1 <error>\n"
+//	append  <path> <size>\n<bytes> → "0\n" | "-1 <error>\n"
+//	stat <path>               → "<size> <dir|file>\n" | "-1 <error>\n"
+//	ls <path>                 → "<n>\n" then n lines "<size> <d|f> <name>" | "-1 ..."
+//	unlink <path>             → "0\n" | "-1 <error>\n"
+//	quit                      → closes the connection
+//
+// Error text never contains a newline.
+
+// ServerStats is a snapshot of server counters.
+type ServerStats struct {
+	Connections  int64
+	ActiveConns  int64
+	Requests     int64
+	Errors       int64
+	BytesIn      int64
+	BytesOut     int64
+	QueueWaitSum time.Duration // total time requests waited for a slot
+}
+
+// Server serves a FileSystem over TCP with a bounded number of concurrently
+// serviced connections.
+type Server struct {
+	fs  FileSystem
+	lis net.Listener
+	// slots bounds concurrently-serviced connections; others queue.
+	slots chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+	conns   atomic.Int64
+	active  atomic.Int64
+	reqs    atomic.Int64
+	errs    atomic.Int64
+	in, out atomic.Int64
+	qwait   atomic.Int64 // nanoseconds
+}
+
+// MaxPayload bounds a single transfer to keep a malicious or buggy client
+// from exhausting memory.
+const MaxPayload = 1 << 31 // 2 GiB
+
+// NewServer starts a server for fs on addr (e.g. "127.0.0.1:0").
+// maxConcurrent bounds simultaneously-serviced connections (<=0 means 16,
+// a deliberately small default mirroring the paper's throttled Chirp).
+func NewServer(fs FileSystem, addr string, maxConcurrent int) (*Server, error) {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 16
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chirp: listening on %s: %w", addr, err)
+	}
+	s := &Server{fs: fs, lis: lis, slots: make(chan struct{}, maxConcurrent)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Connections:  s.conns.Load(),
+		ActiveConns:  s.active.Load(),
+		Requests:     s.reqs.Load(),
+		Errors:       s.errs.Load(),
+		BytesIn:      s.in.Load(),
+		BytesOut:     s.out.Load(),
+		QueueWaitSum: time.Duration(s.qwait.Load()),
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.conns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			// Queue for a service slot: this is the connection cap that
+			// produces batched stage-out behaviour under bursts.
+			start := time.Now()
+			s.slots <- struct{}{}
+			s.qwait.Add(int64(time.Since(start)))
+			s.active.Add(1)
+			defer func() {
+				s.active.Add(-1)
+				<-s.slots
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "quit" {
+			w.Flush()
+			return
+		}
+		s.reqs.Add(1)
+		if err := s.dispatch(line, r, w); err != nil {
+			s.errs.Add(1)
+			fmt.Fprintf(w, "-1 %s\n", sanitizeError(err))
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// sanitizeError flattens an error to a single line.
+func sanitizeError(err error) string {
+	return strings.ReplaceAll(err.Error(), "\n", " ")
+}
+
+func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return errors.New("empty command")
+	}
+	switch fields[0] {
+	case "getfile":
+		if len(fields) != 2 {
+			return errors.New("usage: getfile <path>")
+		}
+		data, err := s.fs.ReadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\n", len(data))
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		s.out.Add(int64(len(data)))
+		return nil
+	case "putfile", "append":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: %s <path> <size>", fields[0])
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || size < 0 || size > MaxPayload {
+			return fmt.Errorf("bad size %q", fields[2])
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return fmt.Errorf("short payload: %w", err)
+		}
+		s.in.Add(size)
+		if fields[0] == "putfile" {
+			err = s.fs.WriteFile(fields[1], data)
+		} else {
+			err = s.fs.Append(fields[1], data)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, "0\n")
+		return nil
+	case "stat":
+		if len(fields) != 2 {
+			return errors.New("usage: stat <path>")
+		}
+		info, err := s.fs.Stat(fields[1])
+		if err != nil {
+			return err
+		}
+		kind := "file"
+		if info.IsDir {
+			kind = "dir"
+		}
+		fmt.Fprintf(w, "%d %s\n", info.Size, kind)
+		return nil
+	case "ls":
+		if len(fields) != 2 {
+			return errors.New("usage: ls <path>")
+		}
+		entries, err := s.fs.List(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\n", len(entries))
+		for _, e := range entries {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Fprintf(w, "%d %s %s\n", e.Size, kind, e.Name)
+		}
+		return nil
+	case "unlink":
+		if len(fields) != 2 {
+			return errors.New("usage: unlink <path>")
+		}
+		if err := s.fs.Remove(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprint(w, "0\n")
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}

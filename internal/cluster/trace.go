@@ -1,0 +1,228 @@
+// Package cluster models the non-dedicated resource pool Lobster runs on: a
+// campus cluster whose batch system (HTCondor at Notre Dame) grants worker
+// "pilot" slots opportunistically and evicts them without warning when the
+// resource owner's jobs return.
+//
+// The package has two halves. The trace half generates and analyses worker
+// availability sessions — the months of logs behind the paper's Figure 2 —
+// and exposes the observed survival distribution that drives the Figure 3
+// task-size simulation. The pool half (pool.go) runs real wq workers against
+// a master and evicts them according to the same distributions, giving the
+// real execution plane genuine non-dedicated behaviour.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lobster/internal/stats"
+)
+
+// Session is one worker's availability interval, as reconstructed from logs
+// marking "the times at which a worker joined and left the system".
+type Session struct {
+	// Start is the session start time in seconds from the trace origin.
+	Start float64
+	// Duration is how long the worker was available, in seconds.
+	Duration float64
+	// Evicted reports whether the session ended in eviction (true) or in
+	// orderly shutdown at the end of a run (false).
+	Evicted bool
+}
+
+// TraceConfig describes synthetic availability-log generation, standing in
+// for the multi-month Lobster production logs the paper collected.
+type TraceConfig struct {
+	// Runs is the number of Lobster runs in the trace (paper: "multiple
+	// runs ... spanning multiple months").
+	Runs int
+	// WorkersPerRun is the number of worker pilots each run requests.
+	WorkersPerRun int
+	// RunDuration is the distribution of run wall-clock lengths in seconds.
+	// Run length varies widely in practice (quick tests to multi-day
+	// campaigns), which is what makes the eviction curve non-trivial: a
+	// session can end either by eviction or because its run finished.
+	RunDuration stats.Dist
+	// Lifetime is the time-to-eviction distribution. Opportunistic pools
+	// show decreasing hazard: many pilots die young (the owner was only
+	// briefly idle), while survivors tend to keep surviving. A Weibull with
+	// shape < 1 captures this.
+	Lifetime stats.Dist
+	// StartSpread is the fraction of the run over which worker start times
+	// are spread (0 = all at run start, 1 = uniformly over the whole run).
+	// Pilots churn throughout a run — evicted workers are replaced as batch
+	// slots reopen — so in practice starts are spread broadly.
+	StartSpread float64
+}
+
+// DefaultTraceConfig reproduces the scale of the paper's observations:
+// ~8000-worker runs with a heavy-tailed eviction process whose mean
+// time-to-eviction is a few hours.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Runs:          30,
+		WorkersPerRun: 800,
+		RunDuration:   stats.LogNormal{Mu: math.Log(18 * 3600), Sigma: 0.9},
+		Lifetime:      stats.Weibull{K: 0.7, Lambda: 9 * 3600},
+		StartSpread:   0.9,
+	}
+}
+
+// GenerateTrace synthesises availability sessions: each worker draws a
+// time-to-eviction; if it exceeds the remaining run time, the session ends
+// uneviced (censored) at run end.
+func GenerateTrace(cfg TraceConfig, rng *stats.Rand) ([]Session, error) {
+	if cfg.Runs <= 0 || cfg.WorkersPerRun <= 0 {
+		return nil, fmt.Errorf("cluster: invalid trace config %+v", cfg)
+	}
+	if cfg.Lifetime == nil || cfg.RunDuration == nil {
+		return nil, fmt.Errorf("cluster: trace config needs Lifetime and RunDuration distributions")
+	}
+	var sessions []Session
+	var runStart float64
+	for r := 0; r < cfg.Runs; r++ {
+		runLen := cfg.RunDuration.Sample(rng)
+		if runLen <= 0 {
+			runLen = 1
+		}
+		for w := 0; w < cfg.WorkersPerRun; w++ {
+			start := runStart
+			if cfg.StartSpread > 0 {
+				start += cfg.StartSpread * runLen * rng.Float64()
+			}
+			remaining := runStart + runLen - start
+			if remaining <= 0 {
+				continue // pilot never started before the run ended
+			}
+			life := cfg.Lifetime.Sample(rng)
+			if life < remaining {
+				sessions = append(sessions, Session{Start: start, Duration: life, Evicted: true})
+			} else {
+				sessions = append(sessions, Session{Start: start, Duration: remaining, Evicted: false})
+			}
+		}
+		runStart += runLen
+	}
+	return sessions, nil
+}
+
+// CurvePoint is one bin of the eviction-probability curve (Figure 2).
+type CurvePoint struct {
+	// T is the bin's central availability time in seconds.
+	T float64
+	// P is the probability that a session whose duration falls in this bin
+	// ended in eviction.
+	P float64
+	// Err is the binomial standard error on P.
+	Err float64
+	// N is the number of sessions in the bin.
+	N int
+}
+
+// EvictionCurve bins sessions by availability time and computes, per bin,
+// the fraction that ended in eviction with binomial uncertainties — the
+// construction of the paper's Figure 2.
+func EvictionCurve(sessions []Session, lo, hi float64, bins int) ([]CurvePoint, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, fmt.Errorf("cluster: invalid binning [%g,%g)x%d", lo, hi, bins)
+	}
+	type bin struct{ evicted, total int }
+	bs := make([]bin, bins)
+	width := (hi - lo) / float64(bins)
+	for _, s := range sessions {
+		if s.Duration < lo || s.Duration >= hi {
+			continue
+		}
+		i := int((s.Duration - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		bs[i].total++
+		if s.Evicted {
+			bs[i].evicted++
+		}
+	}
+	out := make([]CurvePoint, 0, bins)
+	for i, b := range bs {
+		p := CurvePoint{T: lo + (float64(i)+0.5)*width, N: b.total}
+		if b.total > 0 {
+			var err error
+			p.P, p.Err, err = stats.BinomialCI(b.evicted, b.total)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SurvivalDistribution returns the empirical distribution of time-to-eviction
+// from the evicted sessions of a trace. It is the "probability derived from
+// observation" input to the Figure 3 simulation. Censored (non-evicted)
+// sessions are folded in as if they had been evicted at run end; with runs
+// much longer than the mean lifetime the bias is negligible, matching how
+// the paper's logs were used.
+func SurvivalDistribution(sessions []Session) (*stats.Empirical, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	durations := make([]float64, 0, len(sessions))
+	for _, s := range sessions {
+		durations = append(durations, s.Duration)
+	}
+	return stats.NewEmpirical(durations), nil
+}
+
+// EvictionStats summarises a trace.
+type EvictionStats struct {
+	Sessions     int
+	Evictions    int
+	EvictionRate float64
+	MeanLife     float64 // mean availability of evicted sessions, seconds
+	MedianLife   float64
+}
+
+// Summarize computes trace-level statistics.
+func Summarize(sessions []Session) EvictionStats {
+	st := EvictionStats{Sessions: len(sessions)}
+	var evictedDur []float64
+	for _, s := range sessions {
+		if s.Evicted {
+			st.Evictions++
+			evictedDur = append(evictedDur, s.Duration)
+		}
+	}
+	if st.Sessions > 0 {
+		st.EvictionRate = float64(st.Evictions) / float64(st.Sessions)
+	}
+	if len(evictedDur) > 0 {
+		var sum float64
+		for _, d := range evictedDur {
+			sum += d
+		}
+		st.MeanLife = sum / float64(len(evictedDur))
+		sort.Float64s(evictedDur)
+		st.MedianLife = evictedDur[len(evictedDur)/2]
+	}
+	return st
+}
+
+// HazardIsDecreasing reports whether the eviction curve's early bins carry a
+// higher eviction probability than its late bins — the qualitative signature
+// of opportunistic pools that Figure 2 exhibits. Bins with fewer than minN
+// sessions are ignored.
+func HazardIsDecreasing(curve []CurvePoint, minN int) bool {
+	var first, last = math.NaN(), math.NaN()
+	for _, p := range curve {
+		if p.N < minN {
+			continue
+		}
+		if math.IsNaN(first) {
+			first = p.P
+		}
+		last = p.P
+	}
+	return !math.IsNaN(first) && first > last
+}

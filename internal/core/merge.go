@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lobster/internal/chirp"
+	"lobster/internal/hdfs"
+	"lobster/internal/wq"
+)
+
+// outputFile is one unmerged task output on the storage element.
+type outputFile struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// MergeExecutor returns the worker-side executor for merge tasks: it fetches
+// the listed inputs from the chirp storage element, concatenates them, and
+// writes the merged file back. Merge tasks run like analysis tasks (paper:
+// "Merge tasks run in the same way as analysis tasks"), so they are subject
+// to the same eviction and retry machinery.
+func MergeExecutor(chirpAddr string) wq.Executor {
+	return func(ctx *wq.ExecContext) error {
+		args := ctx.Task.Args
+		inputs := strings.Split(args["inputs"], ";")
+		out := args["output"]
+		if len(inputs) == 0 || inputs[0] == "" || out == "" {
+			return fmt.Errorf("merge task needs inputs and output")
+		}
+		cl, err := chirp.Dial(chirpAddr, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		var merged []byte
+		for _, in := range inputs {
+			data, err := cl.GetFile(in)
+			if err != nil {
+				return fmt.Errorf("fetching merge input %s: %w", in, err)
+			}
+			merged = append(merged, data...)
+		}
+		if err := cl.PutFile(out, merged); err != nil {
+			return fmt.Errorf("writing merged output: %w", err)
+		}
+		// Clean up the small inputs; the merged file replaces them.
+		for _, in := range inputs {
+			if err := cl.Unlink(in); err != nil {
+				return fmt.Errorf("removing merged input %s: %w", in, err)
+			}
+		}
+		return nil
+	}
+}
+
+// groupOutputsBySize forms merge groups whose summed size approaches
+// targetBytes (paper: "group the finished tasks by output size to form merge
+// tasks, yielding an output file size close to a user-specified value").
+// Groups of a single file are only produced when requireFull is false (the
+// end-of-run flush).
+func groupOutputsBySize(outputs []outputFile, targetBytes int64, requireFull bool) (groups [][]outputFile, rest []outputFile) {
+	sorted := append([]outputFile(nil), outputs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	var cur []outputFile
+	var curBytes int64
+	for _, o := range sorted {
+		cur = append(cur, o)
+		curBytes += o.Bytes
+		if curBytes >= targetBytes {
+			groups = append(groups, cur)
+			cur, curBytes = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		if requireFull {
+			rest = cur
+		} else {
+			groups = append(groups, cur)
+		}
+	}
+	return groups, rest
+}
+
+// buildMergeTask constructs the wq task for one merge group.
+func buildMergeTask(cfg *Config, group []outputFile, seq int) *wq.Task {
+	paths := make([]string, len(group))
+	for i, o := range group {
+		paths[i] = o.Path
+	}
+	return &wq.Task{
+		Func: cfg.MergeFunc,
+		Args: map[string]string{
+			"inputs": strings.Join(paths, ";"),
+			"output": fmt.Sprintf("%s/%s_merged_%d.root", cfg.OutputDir, cfg.Name, seq),
+		},
+		Tag: "merge",
+	}
+}
+
+// hadoopMerge performs merging entirely within the storage cluster via
+// MapReduce (paper §4.4, "Merging via Hadoop"): the map phase groups small
+// files by target merged name, the reduce phase concatenates each group and
+// writes the large file back into the cluster. No data flows through Chirp.
+func hadoopMerge(cfg *Config, cluster *hdfs.Cluster, outputs []outputFile) (merged int, err error) {
+	if len(outputs) == 0 {
+		return 0, nil
+	}
+	groups, rest := groupOutputsBySize(outputs, cfg.MergeTargetBytes, false)
+	groups = append(groups, restAsGroups(rest)...)
+	// Precomputed path → merged-file key, consulted by the mappers.
+	groupOf := make(map[string]string)
+	var inputs []string
+	for gi, g := range groups {
+		key := fmt.Sprintf("%s_hmerged_%d.root", cfg.Name, gi)
+		for _, o := range g {
+			groupOf[o.Path] = key
+			inputs = append(inputs, o.Path)
+		}
+	}
+	// As in the paper: the map phase only groups file names by target merged
+	// file; each reducer pulls its group's small files from the cluster,
+	// concatenates them locally, and writes the large file back.
+	res, err := cluster.Run(hdfs.Job{
+		Name:   cfg.Name + "-merge",
+		Inputs: inputs,
+		Map: func(path string, content []byte, emit func(hdfs.KV)) error {
+			key, ok := groupOf[path]
+			if !ok {
+				return fmt.Errorf("no merge group for %s", path)
+			}
+			emit(hdfs.KV{Key: key, Value: []byte(path)})
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit func(hdfs.KV)) error {
+			paths := make([]string, len(values))
+			for i, v := range values {
+				paths[i] = string(v)
+			}
+			sort.Strings(paths) // deterministic merge order
+			var data []byte
+			for _, p := range paths {
+				content, err := cluster.ReadFile(p)
+				if err != nil {
+					return fmt.Errorf("reducer fetching %s: %w", p, err)
+				}
+				data = append(data, content...)
+			}
+			if err := cluster.WriteFile(cfg.OutputDir+"/"+key, data); err != nil {
+				return err
+			}
+			emit(hdfs.KV{Key: key, Value: nil})
+			return nil
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	merged = len(res.Output)
+	// Remove the small inputs.
+	for _, in := range inputs {
+		if err := cluster.Remove(in); err != nil {
+			return merged, err
+		}
+	}
+	return merged, nil
+}
+
+func restAsGroups(rest []outputFile) [][]outputFile {
+	if len(rest) == 0 {
+		return nil
+	}
+	return [][]outputFile{rest}
+}

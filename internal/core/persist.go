@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"lobster/internal/store"
+)
+
+// Lobster DB layout: one table per workflow holding tasklet states, plus a
+// marker record describing the plan so recovery can detect mismatches.
+//
+//	wf:<name>:meta      "plan" → {tasklets: N}
+//	wf:<name>:tasklets  <id>   → {state}
+//
+// The paper (footnote 1) relies on exactly this: "system state is quickly
+// and automatically recovered if the scheduler node should crash and
+// reboot."
+
+type planMeta struct {
+	Tasklets int    `json:"tasklets"`
+	Kind     string `json:"kind"`
+}
+
+type taskletRow struct {
+	State TaskletState `json:"state"`
+}
+
+func (l *Lobster) metaTable() string     { return "wf:" + l.cfg.Name + ":meta" }
+func (l *Lobster) taskletsTable() string { return "wf:" + l.cfg.Name + ":tasklets" }
+
+func taskletKey(id int) string { return fmt.Sprintf("%010d", id) }
+
+// persistAllTasklets writes the full initial plan.
+func (l *Lobster) persistAllTasklets() error {
+	db := l.svc.DB
+	if err := db.PutJSON(l.metaTable(), "plan", planMeta{
+		Tasklets: len(l.tasklets), Kind: string(l.cfg.Kind),
+	}); err != nil {
+		return err
+	}
+	for _, t := range l.tasklets {
+		if err := db.PutJSON(l.taskletsTable(), taskletKey(t.ID), taskletRow{State: StatePending}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// persistTaskletStates updates the states of one task group.
+func (l *Lobster) persistTaskletStates(group []int, s TaskletState) error {
+	if l.svc.DB == nil {
+		return nil
+	}
+	for _, id := range group {
+		if err := l.svc.DB.PutJSON(l.taskletsTable(), taskletKey(id), taskletRow{State: s}); err != nil {
+			return err
+		}
+	}
+	// Bound WAL growth over long runs.
+	if l.svc.DB.WALSize() > 8<<20 {
+		return l.svc.DB.Compact()
+	}
+	return nil
+}
+
+// loadState restores tasklet states from a previous incarnation. It reports
+// whether prior state existed.
+func (l *Lobster) loadState() (bool, error) {
+	db := l.svc.DB
+	var meta planMeta
+	err := db.GetJSON(l.metaTable(), "plan", &meta)
+	if err == store.ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if meta.Tasklets != len(l.tasklets) || meta.Kind != string(l.cfg.Kind) {
+		return false, fmt.Errorf("core: Lobster DB holds a different plan for %q "+
+			"(%d tasklets of kind %s, config now yields %d of kind %s); refusing to mix state",
+			l.cfg.Name, meta.Tasklets, meta.Kind, len(l.tasklets), l.cfg.Kind)
+	}
+	for _, t := range l.tasklets {
+		var row taskletRow
+		if err := db.GetJSON(l.taskletsTable(), taskletKey(t.ID), &row); err != nil {
+			if err == store.ErrNotFound {
+				continue // treat as pending
+			}
+			return false, err
+		}
+		switch row.State {
+		case StateDone, StateFailed:
+			l.state[t.ID] = row.State
+		default:
+			// Pending and running both restart as pending: a task that was
+			// in flight when the scheduler died is simply re-run.
+			l.state[t.ID] = StatePending
+		}
+	}
+	return true, nil
+}

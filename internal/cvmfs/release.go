@@ -1,0 +1,90 @@
+package cvmfs
+
+import (
+	"fmt"
+
+	"lobster/internal/stats"
+)
+
+// ReleaseConfig describes a synthetic software release to publish, standing
+// in for a CMSSW distribution. The paper reports that a typical HEP analysis
+// job touches about 1.5 GB of release files per cache; tests and small-scale
+// runs use a scaled-down working set with the same file-count/size shape.
+type ReleaseConfig struct {
+	Version    string // e.g. "CMSSW_7_4_0"
+	Libraries  int    // shared-library files (the bulk of the bytes)
+	LibBytes   int64  // mean size of each library
+	DataFiles  int    // auxiliary data files (geometry, payload snapshots)
+	DataBytes  int64  // mean size of each data file
+	Scripts    int    // small setup scripts and configuration fragments
+	ScriptSize int64  // mean script size
+	SizeJitter float64
+}
+
+// WorkingSetBytes returns the expected total size of the release.
+func (c ReleaseConfig) WorkingSetBytes() int64 {
+	return int64(c.Libraries)*c.LibBytes + int64(c.DataFiles)*c.DataBytes + int64(c.Scripts)*c.ScriptSize
+}
+
+// PublishRelease stages and commits a synthetic release into repo. Content
+// bytes are pseudo-random (deterministic for the rng state) so that distinct
+// files have distinct hashes. It returns the list of published paths.
+func PublishRelease(repo *Repository, cfg ReleaseConfig, rng *stats.Rand) ([]string, error) {
+	if cfg.Version == "" {
+		return nil, fmt.Errorf("cvmfs: release needs a version")
+	}
+	tx := repo.Begin()
+	var paths []string
+	add := func(path string, meanSize int64) error {
+		size := meanSize
+		if cfg.SizeJitter > 0 {
+			g := stats.Gaussian{Mu: float64(meanSize), Sigma: cfg.SizeJitter * float64(meanSize), Floor: 1}
+			size = int64(g.Sample(rng))
+		}
+		content := make([]byte, size)
+		// Fill with a cheap deterministic pattern keyed off the RNG; only the
+		// first words need to differ for unique hashes.
+		for i := 0; i < len(content); i += 64 {
+			v := rng.Uint64()
+			for j := 0; j < 8 && i+j < len(content); j++ {
+				content[i+j] = byte(v >> (8 * j))
+			}
+		}
+		if err := tx.AddFile(path, content); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	base := "/" + cfg.Version
+	for i := 0; i < cfg.Libraries; i++ {
+		if err := add(fmt.Sprintf("%s/lib/libcms%04d.so", base, i), cfg.LibBytes); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.DataFiles; i++ {
+		if err := add(fmt.Sprintf("%s/data/payload%04d.db", base, i), cfg.DataBytes); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Scripts; i++ {
+		if err := add(fmt.Sprintf("%s/bin/setup%04d.sh", base, i), cfg.ScriptSize); err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// TestRelease returns a small release config suitable for unit tests and
+// examples: ~200 kB across 26 files.
+func TestRelease(version string) ReleaseConfig {
+	return ReleaseConfig{
+		Version:   version,
+		Libraries: 10, LibBytes: 16 << 10,
+		DataFiles: 6, DataBytes: 4 << 10,
+		Scripts: 10, ScriptSize: 512,
+	}
+}

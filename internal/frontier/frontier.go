@@ -1,0 +1,134 @@
+// Package frontier implements a conditions-data service modelled on the CMS
+// Frontier system: detector calibration and alignment payloads, keyed by
+// experiment run and tag, distributed from a central server through the same
+// HTTP proxy hierarchy that serves CVMFS (package squid).
+//
+// Payloads for a given (tag, run) interval-of-validity are immutable, so
+// responses carry cache headers that let squid absorb nearly all load — the
+// paper's analysis jobs hit Frontier once per task for the run being
+// processed.
+package frontier
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Payload is one conditions record with an inclusive run interval of
+// validity.
+type Payload struct {
+	Tag      string `json:"tag"`
+	FirstRun int    `json:"first_run"`
+	LastRun  int    `json:"last_run"`
+	Data     []byte `json:"data"`
+}
+
+// Service stores conditions payloads and serves them over HTTP at
+// /frontier/payload?tag=<tag>&run=<run>. Safe for concurrent use.
+type Service struct {
+	mu       sync.RWMutex
+	payloads map[string][]Payload // tag → payloads sorted by FirstRun
+	requests atomic.Int64
+}
+
+// NewService returns an empty conditions service.
+func NewService() *Service {
+	return &Service{payloads: make(map[string][]Payload)}
+}
+
+// Publish registers a payload. Overlapping intervals for one tag are
+// rejected: a run must resolve to exactly one payload.
+func (s *Service) Publish(p Payload) error {
+	if p.Tag == "" {
+		return fmt.Errorf("frontier: payload needs a tag")
+	}
+	if p.LastRun < p.FirstRun {
+		return fmt.Errorf("frontier: invalid run interval [%d,%d]", p.FirstRun, p.LastRun)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.payloads[p.Tag]
+	for _, q := range list {
+		if p.FirstRun <= q.LastRun && q.FirstRun <= p.LastRun {
+			return fmt.Errorf("frontier: tag %s: interval [%d,%d] overlaps [%d,%d]",
+				p.Tag, p.FirstRun, p.LastRun, q.FirstRun, q.LastRun)
+		}
+	}
+	list = append(list, p)
+	sort.Slice(list, func(i, j int) bool { return list[i].FirstRun < list[j].FirstRun })
+	s.payloads[p.Tag] = list
+	return nil
+}
+
+// Lookup returns the payload valid for (tag, run).
+func (s *Service) Lookup(tag string, run int) (*Payload, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.payloads[tag] {
+		p := &s.payloads[tag][i]
+		if run >= p.FirstRun && run <= p.LastRun {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("frontier: no payload for tag %s run %d", tag, run)
+}
+
+// Requests returns the number of HTTP payload requests served.
+func (s *Service) Requests() int64 { return s.requests.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/frontier/payload" {
+		http.NotFound(w, r)
+		return
+	}
+	tag := r.URL.Query().Get("tag")
+	run, err := strconv.Atoi(r.URL.Query().Get("run"))
+	if err != nil {
+		http.Error(w, "frontier: bad run number", http.StatusBadRequest)
+		return
+	}
+	p, err := s.Lookup(tag, run)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.requests.Add(1)
+	// Valid payloads never change: cacheable by the proxy layer.
+	w.Header().Set("Cache-Control", "public, max-age=86400")
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p)
+}
+
+// Client fetches conditions through an HTTP base URL (direct or proxy).
+type Client struct {
+	Base   string
+	Client *http.Client
+}
+
+// Fetch returns the payload for (tag, run).
+func (c *Client) Fetch(tag string, run int) (*Payload, error) {
+	hc := c.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	url := fmt.Sprintf("%s/frontier/payload?run=%d&tag=%s", c.Base, run, tag)
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("frontier: fetching %s/%d: %w", tag, run, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("frontier: %s/%d: status %s", tag, run, resp.Status)
+	}
+	var p Payload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("frontier: decoding payload: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,91 @@
+package frontier
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"lobster/internal/squid"
+)
+
+func TestPublishAndLookup(t *testing.T) {
+	s := NewService()
+	if err := s.Publish(Payload{Tag: "align", FirstRun: 1, LastRun: 100, Data: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(Payload{Tag: "align", FirstRun: 101, LastRun: 200, Data: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Lookup("align", 150)
+	if err != nil || string(p.Data) != "v2" {
+		t.Fatalf("lookup: %v, %v", p, err)
+	}
+	if _, err := s.Lookup("align", 500); err == nil {
+		t.Error("out-of-interval run resolved")
+	}
+	if _, err := s.Lookup("other", 50); err == nil {
+		t.Error("unknown tag resolved")
+	}
+}
+
+func TestPublishRejectsOverlapAndBadInput(t *testing.T) {
+	s := NewService()
+	s.Publish(Payload{Tag: "t", FirstRun: 10, LastRun: 20})
+	if err := s.Publish(Payload{Tag: "t", FirstRun: 15, LastRun: 30}); err == nil {
+		t.Error("overlapping interval accepted")
+	}
+	if err := s.Publish(Payload{Tag: "t", FirstRun: 30, LastRun: 25}); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if err := s.Publish(Payload{FirstRun: 1, LastRun: 2}); err == nil {
+		t.Error("empty tag accepted")
+	}
+	// Non-overlapping publish on the same tag still works.
+	if err := s.Publish(Payload{Tag: "t", FirstRun: 21, LastRun: 30}); err != nil {
+		t.Errorf("adjacent interval rejected: %v", err)
+	}
+}
+
+func TestHTTPAndClient(t *testing.T) {
+	s := NewService()
+	s.Publish(Payload{Tag: "beam", FirstRun: 1, LastRun: 10, Data: []byte("spot")})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	p, err := c.Fetch("beam", 5)
+	if err != nil || string(p.Data) != "spot" {
+		t.Fatalf("fetch: %v, %v", p, err)
+	}
+	if _, err := c.Fetch("beam", 99); err == nil {
+		t.Error("missing payload fetched")
+	}
+	if s.Requests() != 1 {
+		t.Errorf("requests = %d", s.Requests())
+	}
+}
+
+func TestFrontierThroughSquid(t *testing.T) {
+	s := NewService()
+	s.Publish(Payload{Tag: "calib", FirstRun: 1, LastRun: 1000, Data: []byte("x")})
+	origin := httptest.NewServer(s)
+	defer origin.Close()
+	proxy, err := squid.New(origin.URL, squid.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(proxy)
+	defer proxySrv.Close()
+
+	c := &Client{Base: proxySrv.URL}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Fetch("calib", 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Requests() != 1 {
+		t.Errorf("origin saw %d requests; proxy not caching conditions", s.Requests())
+	}
+	if proxy.Stats().Hits != 4 {
+		t.Errorf("proxy hits = %d", proxy.Stats().Hits)
+	}
+}

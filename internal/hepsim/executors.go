@@ -1,0 +1,396 @@
+package hepsim
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"lobster/internal/chirp"
+	"lobster/internal/frontier"
+	"lobster/internal/parrot"
+	"lobster/internal/stats"
+	"lobster/internal/wq"
+	"lobster/internal/wrapper"
+)
+
+// ReportFile is the sandbox file name the wrapper report is written to;
+// tasks declare it as an output so the report travels back to the master.
+const ReportFile = "report.json"
+
+// Env describes the services a worker-side executor uses. One Env is shared
+// by all tasks on a worker process; the parrot cache in particular is the
+// node-local cache all slots share.
+type Env struct {
+	// ProxyURL is the squid (or stratum) base URL for CVMFS and Frontier.
+	ProxyURL string
+	// Repo is the CVMFS repository name, e.g. "cms.cern.ch".
+	Repo string
+	// ReleasePath is the software release to warm, e.g. "/CMSSW_7_4_0".
+	ReleasePath string
+	// Cache is the node-local parrot cache shared by all task slots.
+	Cache *parrot.Cache
+	// Open streams an input LFN (nil disables xrootd access). It returns a
+	// reader-like handle; see OpenFunc.
+	Open OpenFunc
+	// ChirpAddr is the storage-element chirp server for outputs (and
+	// pile-up inputs for simulation).
+	ChirpAddr string
+	// ConditionsTag is the Frontier tag tasks fetch (empty disables).
+	ConditionsTag string
+	// HTTPClient overrides the default client (tests inject one).
+	HTTPClient *http.Client
+}
+
+// OpenFunc opens an LFN for reading; the returned handle reports its size
+// and serves positioned reads. *xrootd.File satisfies this via an adapter
+// in the core package; tests can stub it.
+type OpenFunc func(lfn string) (RemoteFile, error)
+
+// RemoteFile is the minimal streaming-read interface executors need.
+type RemoteFile interface {
+	Size() int64
+	ReadAt(p []byte, off int64) (int, error)
+	Close() error
+}
+
+// Args understood by the executors (all optional unless stated):
+//
+//	lfn         analysis: input logical file name (required)
+//	mode        analysis: "stream" (default) or "stage"
+//	output      chirp path for the task's output file (required if ChirpAddr set)
+//	run         experiment run number, for conditions lookup
+//	event_size  kernel event size in bytes
+//	work        kernel work factor
+//	events      simulation: number of events to generate (required)
+//	pileup      simulation: chirp path of the pile-up sample
+//	seed        simulation: RNG seed
+//	delay_ms    testing: artificial per-segment delay
+
+// Analysis returns the executor for data-analysis tasks: software setup via
+// parrot, conditions via frontier, event data via xrootd (streamed or
+// staged), reduction via the kernel, stage-out via chirp.
+func Analysis(env *Env) wq.Executor {
+	return func(ctx *wq.ExecContext) error {
+		rep, outName := runAnalysis(env, ctx)
+		if err := os.WriteFile(filepath.Join(ctx.Sandbox, ReportFile), rep.Encode(), 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		_ = outName
+		if rep.ExitCode != 0 {
+			return &wq.ExitError{Code: rep.ExitCode, Msg: string(rep.Failed)}
+		}
+		return nil
+	}
+}
+
+func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
+	args := ctx.Task.Args
+	var (
+		kernel  *Kernel
+		mount   *parrot.Mount
+		input   []byte     // staged content (stage mode)
+		file    RemoteFile // open handle (stream mode)
+		output  []byte     // reduced result
+		events  int
+		delayMS = argInt(args, "delay_ms", 0)
+	)
+	rep := wrapper.Run(
+		wrapper.Step{Segment: wrapper.SegEnvInit, Run: func(c *wrapper.StepContext) error {
+			sleepMS(delayMS)
+			var err error
+			kernel, err = NewKernel(argInt(args, "event_size", DefaultEventSize), argInt(args, "work", 1))
+			if err != nil {
+				return err
+			}
+			// Machine compatibility: the sandbox must be writable.
+			probe := filepath.Join(ctx.Sandbox, ".probe")
+			if err := os.WriteFile(probe, nil, 0o644); err != nil {
+				return fmt.Errorf("sandbox not writable: %w", err)
+			}
+			return os.Remove(probe)
+		}},
+		wrapper.Step{Segment: wrapper.SegSoftware, Run: func(c *wrapper.StepContext) error {
+			if env.ProxyURL == "" {
+				return nil // software delivery disabled (unit tests)
+			}
+			inst, err := env.Cache.Instance(fmt.Sprintf("task-%d", ctx.Task.ID))
+			if err != nil {
+				return err
+			}
+			mount, err = parrot.NewMount(env.ProxyURL, env.Repo, inst, env.HTTPClient)
+			if err != nil {
+				return err
+			}
+			warm, err := mount.WarmRelease(env.ReleasePath)
+			if err != nil {
+				return err
+			}
+			c.SetMetric("cache_hits", float64(warm.Hits))
+			c.SetMetric("cache_misses", float64(warm.Misses))
+			c.SetMetric("bytes_fetched", float64(warm.BytesFetched))
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegConditions, Run: func(c *wrapper.StepContext) error {
+			if env.ConditionsTag == "" || env.ProxyURL == "" {
+				return nil
+			}
+			run := argInt(args, "run", 1)
+			cl := &frontier.Client{Base: env.ProxyURL, Client: env.HTTPClient}
+			p, err := cl.Fetch(env.ConditionsTag, run)
+			if err != nil {
+				return err
+			}
+			c.SetMetric("conditions_bytes", float64(len(p.Data)))
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegStageIn, Run: func(c *wrapper.StepContext) error {
+			lfn := args["lfn"]
+			if lfn == "" {
+				return fmt.Errorf("analysis task needs an lfn")
+			}
+			if env.Open == nil {
+				return fmt.Errorf("no data access configured")
+			}
+			f, err := env.Open(lfn)
+			if err != nil {
+				return err
+			}
+			if args["mode"] == "stage" {
+				// Staging: pull the task's event range before processing.
+				defer f.Close()
+				lo, hi := eventRange(kernel, f.Size(), args)
+				input = make([]byte, hi-lo)
+				if err := readFullAt(f, input, lo); err != nil {
+					return err
+				}
+				c.SetMetric("bytes_in", float64(len(input)))
+				return nil
+			}
+			file = f // streaming: reads happen during execute
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegExecute, Run: func(c *wrapper.StepContext) error {
+			sleepMS(delayMS)
+			if input != nil {
+				output, events = kernel.ProcessAll(input)
+			} else {
+				defer file.Close()
+				var err error
+				var streamed int64
+				lo, hi := eventRange(kernel, file.Size(), args)
+				output, events, streamed, err = processStreaming(kernel, file, lo, hi)
+				if err != nil {
+					return err
+				}
+				c.SetMetric("bytes_in", float64(streamed))
+			}
+			c.SetMetric("events", float64(events))
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegStageOut, Run: func(c *wrapper.StepContext) error {
+			out := args["output"]
+			if out == "" || env.ChirpAddr == "" {
+				// Keep the output in the sandbox only.
+				return os.WriteFile(filepath.Join(ctx.Sandbox, "output.root"), output, 0o644)
+			}
+			cl, err := chirp.Dial(env.ChirpAddr, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			if err := cl.PutFile(out, output); err != nil {
+				return err
+			}
+			c.SetMetric("bytes_out", float64(len(output)))
+			return nil
+		}},
+	)
+	return rep, args["output"]
+}
+
+// eventRange maps the task's skip_events/max_events args to a byte range
+// within the file; max_events <= 0 means "to end of file". This is how a
+// task covering a subset of a file's lumisections addresses its share.
+func eventRange(k *Kernel, size int64, args map[string]string) (lo, hi int64) {
+	skip := int64(argInt(args, "skip_events", 0))
+	max := int64(argInt(args, "max_events", 0))
+	lo = skip * int64(k.EventSize)
+	if lo > size {
+		lo = size
+	}
+	if max <= 0 {
+		return lo, size
+	}
+	hi = lo + max*int64(k.EventSize)
+	if hi > size {
+		hi = size
+	}
+	return lo, hi
+}
+
+// processStreaming reads the byte range [lo, hi) in event-aligned chunks,
+// reducing as it goes — I/O and CPU interleave, which is what makes
+// streaming win in the paper's Figure 4.
+func processStreaming(k *Kernel, f RemoteFile, lo, hi int64) (out []byte, events int, streamed int64, err error) {
+	chunkEvents := 64
+	chunk := make([]byte, chunkEvents*k.EventSize)
+	off := lo
+	for off < hi {
+		want := int64(len(chunk))
+		if hi-off < want {
+			want = hi - off
+		}
+		n, err := f.ReadAt(chunk[:want], off)
+		if err != nil {
+			return nil, 0, streamed, err
+		}
+		if n == 0 {
+			break
+		}
+		streamed += int64(n)
+		off += int64(n)
+		reduced, ne := k.ProcessAll(chunk[:n])
+		out = append(out, reduced...)
+		events += ne
+	}
+	return out, events, streamed, nil
+}
+
+// Simulation returns the executor for Monte Carlo simulation tasks: heavy
+// CPU generation, a small pile-up input streamed from the local storage
+// element over chirp, and chirp stage-out. External bandwidth demand is
+// orders of magnitude below analysis, matching §6.
+func Simulation(env *Env) wq.Executor {
+	return func(ctx *wq.ExecContext) error {
+		rep := runSimulation(env, ctx)
+		if err := os.WriteFile(filepath.Join(ctx.Sandbox, ReportFile), rep.Encode(), 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		if rep.ExitCode != 0 {
+			return &wq.ExitError{Code: rep.ExitCode, Msg: string(rep.Failed)}
+		}
+		return nil
+	}
+}
+
+func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
+	args := ctx.Task.Args
+	var (
+		kernel *Kernel
+		pileup []byte
+		signal []byte
+		output []byte
+	)
+	return wrapper.Run(
+		wrapper.Step{Segment: wrapper.SegEnvInit, Run: func(c *wrapper.StepContext) error {
+			var err error
+			kernel, err = NewKernel(argInt(args, "event_size", DefaultEventSize), argInt(args, "work", 1))
+			return err
+		}},
+		wrapper.Step{Segment: wrapper.SegSoftware, Run: func(c *wrapper.StepContext) error {
+			if env.ProxyURL == "" {
+				return nil
+			}
+			inst, err := env.Cache.Instance(fmt.Sprintf("task-%d", ctx.Task.ID))
+			if err != nil {
+				return err
+			}
+			mount, err := parrot.NewMount(env.ProxyURL, env.Repo, inst, env.HTTPClient)
+			if err != nil {
+				return err
+			}
+			warm, err := mount.WarmRelease(env.ReleasePath)
+			if err != nil {
+				return err
+			}
+			c.SetMetric("cache_hits", float64(warm.Hits))
+			c.SetMetric("cache_misses", float64(warm.Misses))
+			c.SetMetric("bytes_fetched", float64(warm.BytesFetched))
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegStageIn, Run: func(c *wrapper.StepContext) error {
+			pu := args["pileup"]
+			if pu == "" || env.ChirpAddr == "" {
+				return nil // pile-up overlay disabled
+			}
+			cl, err := chirp.Dial(env.ChirpAddr, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			pileup, err = cl.GetFile(pu)
+			if err != nil {
+				return err
+			}
+			c.SetMetric("bytes_in", float64(len(pileup)))
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegExecute, Run: func(c *wrapper.StepContext) error {
+			n := argInt(args, "events", 0)
+			if n <= 0 {
+				return fmt.Errorf("simulation task needs events > 0")
+			}
+			seed := uint64(argInt(args, "seed", 1))
+			rng := stats.NewRand(seed)
+			signal = kernel.GenerateEvents(n, rng)
+			if pileup != nil {
+				if err := kernel.OverlayPileup(signal, pileup); err != nil {
+					return err
+				}
+			}
+			output, _ = kernel.ProcessAll(signal)
+			c.SetMetric("events", float64(n))
+			return nil
+		}},
+		wrapper.Step{Segment: wrapper.SegStageOut, Run: func(c *wrapper.StepContext) error {
+			out := args["output"]
+			if out == "" || env.ChirpAddr == "" {
+				return os.WriteFile(filepath.Join(ctx.Sandbox, "output.root"), output, 0o644)
+			}
+			cl, err := chirp.Dial(env.ChirpAddr, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			if err := cl.PutFile(out, output); err != nil {
+				return err
+			}
+			c.SetMetric("bytes_out", float64(len(output)))
+			return nil
+		}},
+	)
+}
+
+func argInt(args map[string]string, key string, def int) int {
+	if v, ok := args[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func sleepMS(ms int) {
+	if ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+}
+
+// readFullAt fills buf from the file starting at base offset.
+func readFullAt(f RemoteFile, buf []byte, base int64) error {
+	var off int64
+	for off < int64(len(buf)) {
+		n, err := f.ReadAt(buf[off:], base+off)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("hepsim: unexpected EOF at %d/%d", off, len(buf))
+		}
+		off += int64(n)
+	}
+	return nil
+}

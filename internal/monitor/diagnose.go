@@ -1,0 +1,115 @@
+package monitor
+
+import "fmt"
+
+// Advice is one diagnosis produced from the monitoring data. The four
+// built-in rules are exactly the paper's §5 troubleshooting list.
+type Advice struct {
+	// Code identifies the rule that fired.
+	Code string
+	// Message is the human-readable diagnosis and remedy.
+	Message string
+	// Value is the measured quantity that triggered the rule.
+	Value float64
+	// Threshold is the limit the value exceeded.
+	Threshold float64
+}
+
+// Thresholds tunes the diagnosis rules; zero fields take defaults.
+type Thresholds struct {
+	// LostFraction: lost runtime / total runtime above this suggests the
+	// task size is too large for the eviction rate. Default 0.10.
+	LostFraction float64
+	// WQStageInFraction: master→worker transfer time above this fraction of
+	// total suggests deploying more foremen. Default 0.05.
+	WQStageInFraction float64
+	// SetupFraction: software setup above this fraction of task wall time
+	// suggests an overloaded squid. Default 0.20.
+	SetupFraction float64
+	// StageOutFraction: output staging above this fraction of task wall
+	// time suggests an overloaded chirp server. Default 0.10.
+	StageOutFraction float64
+}
+
+func (t *Thresholds) defaults() {
+	if t.LostFraction <= 0 {
+		t.LostFraction = 0.10
+	}
+	if t.WQStageInFraction <= 0 {
+		t.WQStageInFraction = 0.05
+	}
+	if t.SetupFraction <= 0 {
+		t.SetupFraction = 0.20
+	}
+	if t.StageOutFraction <= 0 {
+		t.StageOutFraction = 0.10
+	}
+}
+
+// Rule codes.
+const (
+	AdviceTaskTooLarge    = "task-too-large"
+	AdviceNeedForemen     = "need-foremen"
+	AdviceSquidOverloaded = "squid-overloaded"
+	AdviceChirpOverloaded = "chirp-overloaded"
+)
+
+// Diagnose evaluates the §5 heuristics over the accumulated records.
+func (m *Monitor) Diagnose(th Thresholds) []Advice {
+	th.defaults()
+	var (
+		total, lost, wqIn, setup, stageOut, wall float64
+	)
+	m.Each(func(r *TaskRecord) {
+		w := r.WallTime()
+		total += w + r.WQStageIn + r.WQStageOut
+		wall += w
+		lost += r.LostTime
+		wqIn += r.WQStageIn
+		setup += r.SetupTime
+		stageOut += r.StageOut
+	})
+	var advice []Advice
+	if total <= 0 {
+		return advice
+	}
+	if f := lost / (total + lost); f > th.LostFraction {
+		advice = append(advice, Advice{
+			Code:      AdviceTaskTooLarge,
+			Value:     f,
+			Threshold: th.LostFraction,
+			Message: fmt.Sprintf("%.0f%% of runtime lost to eviction: the target task size "+
+				"is too high; reduce tasklets per task so less work is lost per preemption", f*100),
+		})
+	}
+	if f := wqIn / total; f > th.WQStageInFraction {
+		advice = append(advice, Advice{
+			Code:      AdviceNeedForemen,
+			Value:     f,
+			Threshold: th.WQStageInFraction,
+			Message: fmt.Sprintf("%.0f%% of time in sandbox stage-in: deploy more foremen "+
+				"to spread the load of sending out the sandbox", f*100),
+		})
+	}
+	if wall > 0 {
+		if f := setup / wall; f > th.SetupFraction {
+			advice = append(advice, Advice{
+				Code:      AdviceSquidOverloaded,
+				Value:     f,
+				Threshold: th.SetupFraction,
+				Message: fmt.Sprintf("%.0f%% of task time in software setup: squid proxy "+
+					"overloaded; increase cores per worker (shared cache) or deploy more proxies", f*100),
+			})
+		}
+		if f := stageOut / wall; f > th.StageOutFraction {
+			advice = append(advice, Advice{
+				Code:      AdviceChirpOverloaded,
+				Value:     f,
+				Threshold: th.StageOutFraction,
+				Message: fmt.Sprintf("%.0f%% of task time in output staging: chirp server "+
+					"overloaded; adjust the number of concurrent connections permitted", f*100),
+			})
+		}
+	}
+	return advice
+}

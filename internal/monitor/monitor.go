@@ -1,0 +1,355 @@
+// Package monitor implements Lobster's comprehensive monitoring system
+// (paper §5): per-task records assembled from the instrumented wrapper
+// reports and master-side timing, timeline and histogram views over them,
+// the runtime decomposition of Figure 8, and the troubleshooting heuristics
+// the paper lists (task size vs lost runtime, foremen vs sandbox stage-in,
+// squid load vs setup time, chirp load vs stage-out time).
+//
+// Times are float64 seconds from the run origin so the same machinery serves
+// the real execution plane (wall-clock) and the simulation plane (simulated
+// clock).
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"lobster/internal/stats"
+	"lobster/internal/store"
+)
+
+// TaskRecord is the monitoring record for one completed (or failed) task.
+type TaskRecord struct {
+	TaskID int64  `json:"task_id"`
+	Kind   string `json:"kind"` // "analysis", "merge", "simulation", ...
+	Worker string `json:"worker"`
+
+	// Lifecycle timestamps, seconds from run origin.
+	Submit   float64 `json:"submit"`
+	Dispatch float64 `json:"dispatch"`
+	Start    float64 `json:"start"`
+	Finish   float64 `json:"finish"`
+	Return   float64 `json:"return"`
+
+	ExitCode      int    `json:"exit_code"`
+	FailedSegment string `json:"failed_segment,omitempty"`
+	Requeues      int    `json:"requeues"`
+
+	// Decomposed task time, seconds.
+	CPUTime    float64 `json:"cpu_time"`    // pure computation
+	IOTime     float64 `json:"io_time"`     // data access within the task
+	SetupTime  float64 `json:"setup_time"`  // software environment setup
+	StageIn    float64 `json:"stage_in"`    // task-level input staging
+	StageOut   float64 `json:"stage_out"`   // task-level output staging
+	WQStageIn  float64 `json:"wq_stage_in"` // master→worker transfer (sandbox)
+	WQStageOut float64 `json:"wq_stage_out"`
+	LostTime   float64 `json:"lost_time"` // runtime destroyed by eviction
+
+	// Metrics are free-form task measurements (events, bytes_in, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Failed reports whether the record is a failure.
+func (r *TaskRecord) Failed() bool { return r.ExitCode != 0 }
+
+// WallTime is the task's start→finish duration.
+func (r *TaskRecord) WallTime() float64 { return r.Finish - r.Start }
+
+// Monitor accumulates task records. It is safe for concurrent use.
+type Monitor struct {
+	mu      sync.RWMutex
+	records []TaskRecord
+}
+
+// New returns an empty monitor.
+func New() *Monitor { return &Monitor{} }
+
+// Add appends a record.
+func (m *Monitor) Add(r TaskRecord) {
+	m.mu.Lock()
+	m.records = append(m.records, r)
+	m.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (m *Monitor) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.records)
+}
+
+// Records returns a copy of all records.
+func (m *Monitor) Records() []TaskRecord {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]TaskRecord(nil), m.records...)
+}
+
+// Each calls fn for every record under the read lock.
+func (m *Monitor) Each(fn func(*TaskRecord)) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := range m.records {
+		fn(&m.records[i])
+	}
+}
+
+// --- Figure 8: runtime decomposition ---
+
+// BreakdownRow is one row of the Figure 8 table.
+type BreakdownRow struct {
+	Phase    string
+	Hours    float64
+	Fraction float64 // of total
+}
+
+// Breakdown aggregates the decomposed task time across all records into the
+// phases of Figure 8. Failed tasks contribute their whole wall time to the
+// "Task Failed" phase, successful tasks contribute their per-phase split.
+func (m *Monitor) Breakdown() []BreakdownRow {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var cpu, io, failed, wqIn, wqOut, lost float64
+	for i := range m.records {
+		r := &m.records[i]
+		lost += r.LostTime
+		if r.Failed() {
+			failed += r.WallTime()
+			continue
+		}
+		cpu += r.CPUTime
+		io += r.IOTime + r.SetupTime + r.StageIn + r.StageOut
+		wqIn += r.WQStageIn
+		wqOut += r.WQStageOut
+	}
+	failed += lost
+	total := cpu + io + failed + wqIn + wqOut
+	rows := []BreakdownRow{
+		{Phase: "Task CPU Time", Hours: cpu / 3600},
+		{Phase: "Task I/O Time", Hours: io / 3600},
+		{Phase: "Task Failed", Hours: failed / 3600},
+		{Phase: "WQ Stage In", Hours: wqIn / 3600},
+		{Phase: "WQ Stage Out", Hours: wqOut / 3600},
+	}
+	if total > 0 {
+		for i := range rows {
+			rows[i].Fraction = rows[i].Hours * 3600 / total
+		}
+	}
+	return rows
+}
+
+// --- Timelines (Figures 7, 10, 11) ---
+
+// Timeline is the per-bin view of a run.
+type Timeline struct {
+	Bins      int
+	BinWidth  float64
+	Start     float64
+	Running   []float64 // mean concurrent tasks per bin
+	Completed []int     // tasks finished OK per bin
+	FailedN   []int     // tasks finished failed per bin
+	Eff       []float64 // CPU-time / wall-clock ratio per bin
+	SetupMean []float64 // mean software-setup time of tasks finishing in bin
+	StageOut  []float64 // mean stage-out time of tasks finishing in bin
+}
+
+// BinTime returns the start time of bin i.
+func (t *Timeline) BinTime(i int) float64 { return t.Start + float64(i)*t.BinWidth }
+
+// MakeTimeline bins the records over [start, end) with the given bin width.
+func (m *Monitor) MakeTimeline(start, end, binWidth float64) (*Timeline, error) {
+	if binWidth <= 0 || end <= start {
+		return nil, fmt.Errorf("monitor: invalid timeline [%g,%g) width %g", start, end, binWidth)
+	}
+	nbins := int(math.Ceil((end - start) / binWidth))
+	tl := &Timeline{
+		Bins: nbins, BinWidth: binWidth, Start: start,
+		Running: make([]float64, nbins), Completed: make([]int, nbins),
+		FailedN: make([]int, nbins), Eff: make([]float64, nbins),
+		SetupMean: make([]float64, nbins), StageOut: make([]float64, nbins),
+	}
+	return tl, nil
+}
+
+// Timeline computes the full per-bin view.
+func (m *Monitor) Timeline(start, end, binWidth float64) (*Timeline, error) {
+	tl, err := m.MakeTimeline(start, end, binWidth)
+	if err != nil {
+		return nil, err
+	}
+	nbins := tl.Bins
+	cpuPerBin := make([]float64, nbins)
+	wallPerBin := make([]float64, nbins)
+	setupSum := make([]float64, nbins)
+	setupN := make([]int, nbins)
+	outSum := make([]float64, nbins)
+	outN := make([]int, nbins)
+
+	clampBin := func(t float64) int {
+		i := int((t - start) / binWidth)
+		if i < 0 {
+			return 0
+		}
+		if i >= nbins {
+			return nbins - 1
+		}
+		return i
+	}
+
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := range m.records {
+		r := &m.records[i]
+		if r.Finish <= start || r.Start >= end {
+			continue
+		}
+		// Concurrency: spread the task's [Start, Finish) over bins.
+		b0, b1 := clampBin(r.Start), clampBin(r.Finish)
+		for b := b0; b <= b1; b++ {
+			binLo := start + float64(b)*binWidth
+			binHi := binLo + binWidth
+			lo, hi := r.Start, r.Finish
+			if lo < binLo {
+				lo = binLo
+			}
+			if hi > binHi {
+				hi = binHi
+			}
+			if hi <= lo {
+				continue
+			}
+			overlap := hi - lo
+			tl.Running[b] += overlap / binWidth
+			wallPerBin[b] += overlap
+			if !r.Failed() && r.WallTime() > 0 {
+				// Attribute CPU time uniformly over the task's life.
+				cpuPerBin[b] += r.CPUTime * overlap / r.WallTime()
+			}
+		}
+		// Completion accounting at finish time; a finish exactly at the
+		// window end clamps into the last bin.
+		fb := clampBin(r.Finish)
+		if r.Finish >= start && r.Finish <= end {
+			if r.Failed() {
+				tl.FailedN[fb]++
+			} else {
+				tl.Completed[fb]++
+			}
+			setupSum[fb] += r.SetupTime
+			setupN[fb]++
+			outSum[fb] += r.StageOut
+			outN[fb]++
+		}
+	}
+	for b := 0; b < nbins; b++ {
+		if wallPerBin[b] > 0 {
+			tl.Eff[b] = cpuPerBin[b] / wallPerBin[b]
+		}
+		if setupN[b] > 0 {
+			tl.SetupMean[b] = setupSum[b] / float64(setupN[b])
+		}
+		if outN[b] > 0 {
+			tl.StageOut[b] = outSum[b] / float64(outN[b])
+		}
+	}
+	return tl, nil
+}
+
+// FailureCodes returns, per time bin, the exit codes of failed tasks — the
+// bottom panel of Figure 11.
+func (m *Monitor) FailureCodes(start, end, binWidth float64) (map[int][]int, error) {
+	if binWidth <= 0 || end <= start {
+		return nil, fmt.Errorf("monitor: invalid binning")
+	}
+	nbins := int(math.Ceil((end - start) / binWidth))
+	out := make(map[int][]int)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := range m.records {
+		r := &m.records[i]
+		if !r.Failed() || r.Finish < start || r.Finish >= end {
+			continue
+		}
+		b := int((r.Finish - start) / binWidth)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		out[b] = append(out[b], r.ExitCode)
+	}
+	for _, codes := range out {
+		sort.Ints(codes)
+	}
+	return out, nil
+}
+
+// SegmentHistogram builds a histogram of one decomposed-time field, selected
+// by name: "cpu", "io", "setup", "stage_in", "stage_out", "wall".
+func (m *Monitor) SegmentHistogram(field string, lo, hi float64, bins int) (*stats.Histogram, error) {
+	sel, err := fieldSelector(field)
+	if err != nil {
+		return nil, err
+	}
+	h := stats.NewHistogram(lo, hi, bins)
+	m.Each(func(r *TaskRecord) { h.Add(sel(r)) })
+	return h, nil
+}
+
+func fieldSelector(field string) (func(*TaskRecord) float64, error) {
+	switch field {
+	case "cpu":
+		return func(r *TaskRecord) float64 { return r.CPUTime }, nil
+	case "io":
+		return func(r *TaskRecord) float64 { return r.IOTime }, nil
+	case "setup":
+		return func(r *TaskRecord) float64 { return r.SetupTime }, nil
+	case "stage_in":
+		return func(r *TaskRecord) float64 { return r.StageIn }, nil
+	case "stage_out":
+		return func(r *TaskRecord) float64 { return r.StageOut }, nil
+	case "wall":
+		return func(r *TaskRecord) float64 { return r.WallTime() }, nil
+	default:
+		return nil, fmt.Errorf("monitor: unknown field %q", field)
+	}
+}
+
+// --- Persistence ---
+
+const tableName = "monitor_tasks"
+
+// SaveTo writes all records into db (table "monitor_tasks").
+func (m *Monitor) SaveTo(db *store.DB) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := range m.records {
+		r := &m.records[i]
+		key := fmt.Sprintf("%016d", r.TaskID)
+		if err := db.PutJSON(tableName, key, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFrom reads records from db, replacing current contents.
+func (m *Monitor) LoadFrom(db *store.DB) error {
+	var records []TaskRecord
+	err := db.ForEach(tableName, func(key string, value []byte) error {
+		var r TaskRecord
+		if err := db.GetJSON(tableName, key, &r); err != nil {
+			return err
+		}
+		records = append(records, r)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.records = records
+	m.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package parrot implements the client side of CVMFS access as the paper
+// uses Parrot: an unprivileged layer that fetches content-addressed objects
+// over HTTP (directly or through squid proxies) and keeps them in a local
+// cache directory on the worker node.
+//
+// The package implements the five cache-sharing configurations of Figure 6:
+//
+//	(a) ModePrivateLocked — one cache directory, exclusive write lock: when
+//	    the cache is cold only the lock holder makes progress.
+//	(b,c) ModePerInstance — every Parrot instance uses its own directory:
+//	    full concurrency but every instance downloads the full working set.
+//	(d,e) ModeAlien — one shared cache with concurrent population (the
+//	    "alien cache"): safe because CVMFS is read-only, each object is
+//	    fetched exactly once per node, and readers never block on writers
+//	    of other objects.
+package parrot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Mode selects the cache-sharing configuration (Figure 6).
+type Mode int
+
+// Cache sharing modes.
+const (
+	// ModePrivateLocked is Figure 6(a): a single cache directory whose
+	// population is serialised by an exclusive lock.
+	ModePrivateLocked Mode = iota
+	// ModePerInstance is Figure 6(b)/(c): independent caches per instance.
+	ModePerInstance
+	// ModeAlien is Figure 6(d)/(e): one shared cache, concurrent population
+	// with per-object single-flight.
+	ModeAlien
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModePrivateLocked:
+		return "private-locked"
+	case ModePerInstance:
+		return "per-instance"
+	case ModeAlien:
+		return "alien"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Cache is a node-local object cache shared by some number of Parrot
+// instances. It is safe for concurrent use.
+type Cache struct {
+	dir  string
+	mode Mode
+
+	populateMu sync.Mutex // ModePrivateLocked: global write lock
+
+	mu       sync.Mutex
+	inflight map[string]*population // ModeAlien: per-object single-flight
+}
+
+type population struct {
+	done chan struct{}
+	err  error
+}
+
+// NewCache creates a cache rooted at dir.
+func NewCache(dir string, mode Mode) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("parrot: creating cache dir: %w", err)
+	}
+	return &Cache{dir: dir, mode: mode, inflight: make(map[string]*population)}, nil
+}
+
+// Mode returns the cache's sharing mode.
+func (c *Cache) Mode() Mode { return c.mode }
+
+// Dir returns the cache root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// InstanceStats counts one instance's cache traffic.
+type InstanceStats struct {
+	Hits         int
+	Misses       int
+	BytesFetched int64
+	LockWait     time.Duration // time spent blocked on other instances
+}
+
+// Instance is one Parrot instance's handle onto the cache. Instances are
+// not safe for concurrent use by multiple goroutines; create one per task.
+type Instance struct {
+	cache *Cache
+	id    string
+	dir   string // instance-private dir in ModePerInstance, else cache dir
+	stats InstanceStats
+}
+
+// Instance returns a handle for the named instance.
+func (c *Cache) Instance(id string) (*Instance, error) {
+	dir := c.dir
+	if c.mode == ModePerInstance {
+		dir = filepath.Join(c.dir, "instance-"+id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("parrot: creating instance dir: %w", err)
+		}
+	}
+	return &Instance{cache: c, id: id, dir: dir}, nil
+}
+
+// Stats returns the instance's counters.
+func (i *Instance) Stats() InstanceStats { return i.stats }
+
+func (i *Instance) objectPath(hash string) string {
+	return filepath.Join(i.dir, hash)
+}
+
+// readIfPresent returns the cached object, or nil if absent.
+func (i *Instance) readIfPresent(hash string) []byte {
+	data, err := os.ReadFile(i.objectPath(hash))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// writeObject installs data atomically (temp + rename) so concurrent readers
+// never observe a partial object.
+func (i *Instance) writeObject(hash string, data []byte) error {
+	tmp, err := os.CreateTemp(i.dir, "tmp-"+hash+"-*")
+	if err != nil {
+		return fmt.Errorf("parrot: staging object: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("parrot: writing object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, i.objectPath(hash)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("parrot: installing object: %w", err)
+	}
+	return nil
+}
+
+// GetOrFetch returns the object with the given hash, consulting the cache
+// first and calling fetch on a miss. The hit result reports whether the
+// object came from cache. Population concurrency follows the cache mode.
+func (i *Instance) GetOrFetch(hash string, fetch func() ([]byte, error)) (data []byte, hit bool, err error) {
+	if data := i.readIfPresent(hash); data != nil {
+		i.stats.Hits++
+		return data, true, nil
+	}
+	switch i.cache.mode {
+	case ModePrivateLocked:
+		return i.fetchLocked(hash, fetch)
+	case ModePerInstance:
+		return i.fetchDirect(hash, fetch)
+	case ModeAlien:
+		return i.fetchAlien(hash, fetch)
+	default:
+		return nil, false, fmt.Errorf("parrot: unknown cache mode %d", i.cache.mode)
+	}
+}
+
+// fetchDirect downloads with no cross-instance coordination.
+func (i *Instance) fetchDirect(hash string, fetch func() ([]byte, error)) ([]byte, bool, error) {
+	data, err := fetch()
+	if err != nil {
+		return nil, false, err
+	}
+	i.stats.Misses++
+	i.stats.BytesFetched += int64(len(data))
+	if err := i.writeObject(hash, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// fetchLocked serialises all population through one exclusive lock: the
+// Figure 6(a) behaviour where, with a cold cache, only the lock holder makes
+// progress.
+func (i *Instance) fetchLocked(hash string, fetch func() ([]byte, error)) ([]byte, bool, error) {
+	start := time.Now()
+	i.cache.populateMu.Lock()
+	i.stats.LockWait += time.Since(start)
+	defer i.cache.populateMu.Unlock()
+	// Another instance may have populated the object while we waited.
+	if data := i.readIfPresent(hash); data != nil {
+		i.stats.Hits++
+		return data, true, nil
+	}
+	return i.fetchDirect(hash, fetch)
+}
+
+// fetchAlien populates with per-object single-flight: concurrent misses on
+// distinct objects proceed in parallel; concurrent misses on the same object
+// share one download.
+func (i *Instance) fetchAlien(hash string, fetch func() ([]byte, error)) ([]byte, bool, error) {
+	c := i.cache
+	for {
+		c.mu.Lock()
+		if p, ok := c.inflight[hash]; ok {
+			c.mu.Unlock()
+			start := time.Now()
+			<-p.done
+			i.stats.LockWait += time.Since(start)
+			if p.err != nil {
+				return nil, false, p.err
+			}
+			if data := i.readIfPresent(hash); data != nil {
+				i.stats.Hits++
+				return data, true, nil
+			}
+			// Populator raced with eviction; retry as populator.
+			continue
+		}
+		p := &population{done: make(chan struct{})}
+		c.inflight[hash] = p
+		c.mu.Unlock()
+
+		data, _, err := i.fetchDirect(hash, fetch)
+		p.err = err
+		c.mu.Lock()
+		delete(c.inflight, hash)
+		c.mu.Unlock()
+		close(p.done)
+		return data, false, err
+	}
+}

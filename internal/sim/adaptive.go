@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"lobster/internal/stats"
+)
+
+// This file implements the paper's §8 future-work item: "automatic
+// performance optimization through dynamic adjustment of task size in the
+// face of changing eviction rates", as an extension over the Figure 3
+// machinery, plus the phase-shift experiment that evaluates it.
+
+// Sizer chooses the next task size (tasklets per task) for a workflow.
+type Sizer interface {
+	// Next returns the task size to use for the next task.
+	Next() int
+	// Observe reports a finished task attempt: its size and whether the
+	// worker was evicted during it.
+	Observe(size int, evicted bool)
+	// Name labels the sizer in results.
+	Name() string
+}
+
+// StaticSizer always returns the same size (Lobster's classic behaviour,
+// with the user adjusting by hand).
+type StaticSizer struct{ Size int }
+
+// Next implements Sizer.
+func (s *StaticSizer) Next() int { return s.Size }
+
+// Observe implements Sizer.
+func (s *StaticSizer) Observe(int, bool) {}
+
+// Name implements Sizer.
+func (s *StaticSizer) Name() string { return fmt.Sprintf("static-%d", s.Size) }
+
+// RateSizer adapts the task size from the observed fleet-wide eviction
+// rate. Per observation window it estimates the per-task eviction
+// probability p; with task span T that implies a mean worker survival
+// E[S] ≈ T/p, and the efficiency-optimal span balancing per-task overhead O
+// against eviction loss is T* ≈ sqrt(2·O·E[S]) (maximising
+// (T/(T+O))·(1 − T/(2E[S])) for small ratios). The controller steps the
+// size toward T* each window, growing multiplicatively when no evictions
+// are seen. A single per-event AIMD response does not work at fleet scale:
+// with thousands of workers even a healthy configuration produces a steady
+// trickle of evictions, which would ratchet the size to the floor.
+type RateSizer struct {
+	// Min and Max bound the size in tasklets.
+	Min, Max int
+	// Overhead and TaskletTime are the per-task overhead and mean tasklet
+	// duration in seconds (the T* formula needs real time units).
+	Overhead    float64
+	TaskletTime float64
+	// Window is the number of observations between adjustments.
+	Window int
+
+	size      float64
+	nObserved int
+	nEvicted  int
+}
+
+// NewRateSizer returns a rate-based sizer starting at start tasklets/task.
+func NewRateSizer(start, min, max int, overhead, taskletTime float64) *RateSizer {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if start < min {
+		start = min
+	}
+	if start > max {
+		start = max
+	}
+	return &RateSizer{Min: min, Max: max, Overhead: overhead,
+		TaskletTime: taskletTime, Window: 200, size: float64(start)}
+}
+
+// Next implements Sizer.
+func (a *RateSizer) Next() int {
+	n := int(math.Round(a.size))
+	if n < a.Min {
+		n = a.Min
+	}
+	if n > a.Max {
+		n = a.Max
+	}
+	return n
+}
+
+// Observe implements Sizer.
+func (a *RateSizer) Observe(size int, evicted bool) {
+	a.nObserved++
+	if evicted {
+		a.nEvicted++
+	}
+	if a.nObserved < a.Window {
+		return
+	}
+	p := float64(a.nEvicted) / float64(a.nObserved)
+	a.nObserved, a.nEvicted = 0, 0
+	if p <= 0 {
+		// No evictions observed: amortise overhead harder.
+		a.size *= 1.3
+	} else {
+		span := a.size*a.TaskletTime + a.Overhead
+		meanSurvival := span / p
+		tStar := math.Sqrt(2 * a.Overhead * meanSurvival)
+		target := (tStar - a.Overhead) / a.TaskletTime
+		// Move halfway toward the target for stability.
+		a.size += 0.5 * (target - a.size)
+	}
+	if a.size < float64(a.Min) {
+		a.size = float64(a.Min)
+	}
+	if a.size > float64(a.Max) {
+		a.size = float64(a.Max)
+	}
+}
+
+// Name implements Sizer.
+func (a *RateSizer) Name() string { return "rate-adaptive" }
+
+// PhaseShiftConfig describes the adaptive-sizing experiment: the eviction
+// regime changes mid-run (e.g. the cluster owner's jobs return), and the
+// workload either keeps its static task size or adapts.
+type PhaseShiftConfig struct {
+	Base TaskSizeConfig
+	// Phase1 and Phase2 are the survival distributions before and after the
+	// shift; the shift happens when half the tasklets have completed.
+	Phase1, Phase2 stats.Dist
+}
+
+// DefaultPhaseShiftConfig: a calm cluster (mean lifetime ~20 h) that turns
+// hostile (mean lifetime ~1.5 h) halfway through the workload.
+func DefaultPhaseShiftConfig() PhaseShiftConfig {
+	cfg := DefaultTaskSizeConfig()
+	cfg.Tasklets = 40000
+	cfg.Workers = 2000
+	return PhaseShiftConfig{
+		Base:   cfg,
+		Phase1: stats.Weibull{K: 0.9, Lambda: 20 * 3600},
+		Phase2: stats.Weibull{K: 0.9, Lambda: 1.5 * 3600},
+	}
+}
+
+// AdaptiveResult is the outcome of one sizer under the phase shift.
+type AdaptiveResult struct {
+	Sizer      string
+	Efficiency float64
+	Evictions  int
+	FinalSize  int
+	MeanSize   float64
+}
+
+// SimulateAdaptive runs the Figure 3 engine with a Sizer choosing per-task
+// sizes and the survival regime switching halfway through the tasklet pool.
+func SimulateAdaptive(cfg PhaseShiftConfig, sizer Sizer) (*AdaptiveResult, error) {
+	base := cfg.Base
+	if base.Tasklets <= 0 || base.Workers <= 0 || base.TaskletTime == nil {
+		return nil, fmt.Errorf("sim: invalid adaptive config %+v", base)
+	}
+	if cfg.Phase1 == nil || cfg.Phase2 == nil {
+		return nil, fmt.Errorf("sim: adaptive config needs both phase distributions")
+	}
+	rng := stats.NewRand(base.Seed)
+	pool := base.Tasklets
+	completed := 0
+	shiftAt := base.Tasklets / 2
+	regime := func() int {
+		if completed < shiftAt {
+			return 1
+		}
+		return 2
+	}
+	survival := func() float64 {
+		if regime() == 1 {
+			return cfg.Phase1.Sample(rng)
+		}
+		return cfg.Phase2.Sample(rng)
+	}
+
+	var totalTime, effective, sizeSum float64
+	var evictions, tasks int
+
+	h := make(workerHeap, 0, base.Workers)
+	for i := 0; i < base.Workers; i++ {
+		w := &simWorker{free: base.WorkerOverhead, uptime: base.WorkerOverhead,
+			death: survival(), regime: regime()}
+		totalTime += base.WorkerOverhead
+		heap.Push(&h, w)
+	}
+	for completed < base.Tasklets && h.Len() > 0 {
+		w := heap.Pop(&h).(*simWorker)
+		if pool <= 0 {
+			continue
+		}
+		// A regime shift (the cluster owner's jobs returning) hits running
+		// workers too: their remaining lifetime is re-drawn lazily under the
+		// new regime.
+		if w.regime != regime() {
+			w.regime = regime()
+			w.death = w.uptime + survival()
+		}
+		k := sizer.Next()
+		if k > pool {
+			k = pool
+		}
+		pool -= k
+		tasks++
+		sizeSum += float64(k)
+		var proc float64
+		for i := 0; i < k; i++ {
+			proc += base.TaskletTime.Sample(rng)
+		}
+		span := base.TaskOverhead + proc
+		if w.uptime+span > w.death {
+			lost := w.death - w.uptime
+			if lost < 0 {
+				lost = 0
+			}
+			totalTime += lost + base.WorkerOverhead
+			pool += k
+			evictions++
+			sizer.Observe(k, true)
+			w.free += lost + base.WorkerOverhead
+			w.uptime = base.WorkerOverhead
+			w.death = survival()
+			w.regime = regime()
+			heap.Push(&h, w)
+			continue
+		}
+		w.uptime += span
+		w.free += span
+		totalTime += span
+		effective += proc
+		completed += k
+		sizer.Observe(k, false)
+		heap.Push(&h, w)
+	}
+	res := &AdaptiveResult{Sizer: sizer.Name(), Evictions: evictions, FinalSize: sizer.Next()}
+	if totalTime > 0 {
+		res.Efficiency = effective / totalTime
+	}
+	if tasks > 0 {
+		res.MeanSize = sizeSum / float64(tasks)
+	}
+	return res, nil
+}
+
+// CompareAdaptive runs the phase-shift experiment for a static sizer tuned
+// to the calm phase and the AIMD sizer, returning both results.
+func CompareAdaptive(cfg PhaseShiftConfig, staticSize int) ([]*AdaptiveResult, error) {
+	if staticSize < 1 {
+		staticSize = 18 // ~3 h tasks: optimal for the calm phase
+	}
+	var out []*AdaptiveResult
+	for _, sizer := range []Sizer{
+		&StaticSizer{Size: staticSize},
+		NewRateSizer(staticSize, 1, 120,
+			cfg.Base.TaskOverhead, cfg.Base.TaskletTime.Mean()),
+	} {
+		r, err := SimulateAdaptive(cfg, sizer)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+
+	"lobster/internal/simevent"
+)
+
+// AccessConfig parameterises the Figure 4 data-access comparison: the same
+// task population run once with staged input (transfer fully, then process)
+// and once with streamed input (transfer and processing pipelined).
+type AccessConfig struct {
+	Tasks       int
+	InputBytes  float64 // per task
+	OutputBytes float64 // per task
+	CPUTime     float64 // pure processing seconds per task
+	// WANBandwidth is the shared inbound link all tasks stream/stage over.
+	WANBandwidth float64
+	// SEBandwidth is the storage-element link for stage-out.
+	SEBandwidth float64
+	Workers     int // concurrent task slots
+}
+
+// DefaultAccessConfig: tasks whose input transfer time is comparable to
+// their CPU time, so the access mode matters.
+func DefaultAccessConfig() AccessConfig {
+	return AccessConfig{
+		Tasks:        400,
+		InputBytes:   4e9,
+		OutputBytes:  100e6,
+		CPUTime:      400,
+		WANBandwidth: 1.25e9, // 10 Gbit/s campus uplink
+		SEBandwidth:  1.25e9,
+		Workers:      100,
+	}
+}
+
+// AccessResult is one bar of Figure 4: the mean task runtime split into the
+// data-processing part and general overhead.
+type AccessResult struct {
+	Mode           string
+	MeanRuntime    float64 // seconds per task
+	MeanProcessing float64 // CPU-engaged seconds per task
+	MeanOverhead   float64 // non-processing seconds per task
+	CPUUtilization float64 // processing / runtime
+	Makespan       float64 // total wall time of the whole batch
+}
+
+// SimulateAccessMode runs the batch with the given access mode ("stage" or
+// "stream").
+func SimulateAccessMode(cfg AccessConfig, mode string) (*AccessResult, error) {
+	if cfg.Tasks <= 0 || cfg.Workers <= 0 {
+		return nil, fmt.Errorf("sim: invalid access config %+v", cfg)
+	}
+	if mode != "stage" && mode != "stream" {
+		return nil, fmt.Errorf("sim: unknown access mode %q", mode)
+	}
+	s := simevent.New()
+	wan := simevent.NewLink(s, cfg.WANBandwidth)
+	se := simevent.NewLink(s, cfg.SEBandwidth)
+	slots := simevent.NewResource(s, cfg.Workers)
+
+	var totalRuntime, totalProcessing float64
+	for i := 0; i < cfg.Tasks; i++ {
+		s.Go(func(p *simevent.Proc) {
+			slots.Acquire(p)
+			defer slots.Release()
+			start := p.Now()
+			switch mode {
+			case "stage":
+				// Sequential: full transfer, then full CPU burst.
+				wan.Transfer(p, cfg.InputBytes)
+				p.Wait(cfg.CPUTime)
+			case "stream":
+				// Pipelined: data is consumed as it arrives, so the task
+				// takes max(transfer, cpu) — modelled as chunks where CPU
+				// overlaps the next chunk's transfer.
+				const chunks = 16
+				perChunkBytes := cfg.InputBytes / chunks
+				perChunkCPU := cfg.CPUTime / chunks
+				tCPUFree := p.Now() // when the CPU finishes the previous chunk
+				for c := 0; c < chunks; c++ {
+					wan.Transfer(p, perChunkBytes)
+					// CPU processes this chunk after it finishes the last.
+					if p.Now() > tCPUFree {
+						tCPUFree = p.Now()
+					}
+					tCPUFree += perChunkCPU
+				}
+				p.WaitUntil(tCPUFree)
+			}
+			se.Transfer(p, cfg.OutputBytes)
+			totalRuntime += p.Now() - start
+			totalProcessing += cfg.CPUTime
+		})
+	}
+	s.Run()
+	n := float64(cfg.Tasks)
+	res := &AccessResult{
+		Mode:           mode,
+		MeanRuntime:    totalRuntime / n,
+		MeanProcessing: totalProcessing / n,
+		Makespan:       s.Now(),
+	}
+	res.MeanOverhead = res.MeanRuntime - res.MeanProcessing
+	if res.MeanRuntime > 0 {
+		res.CPUUtilization = res.MeanProcessing / res.MeanRuntime
+	}
+	return res, nil
+}
+
+// Figure4 runs both modes and returns staging first, streaming second, as
+// in the paper's figure.
+func Figure4(cfg AccessConfig) ([]*AccessResult, error) {
+	stage, err := SimulateAccessMode(cfg, "stage")
+	if err != nil {
+		return nil, err
+	}
+	stream, err := SimulateAccessMode(cfg, "stream")
+	if err != nil {
+		return nil, err
+	}
+	return []*AccessResult{stage, stream}, nil
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"lobster/internal/simevent"
+	"lobster/internal/stats"
+)
+
+// ProxyConfig parameterises the Figure 5 proxy-cache scalability study:
+// a wave of tasks starts simultaneously on fresh (cold) or pre-populated
+// (hot) worker caches, all pulling the software working set through one
+// squid proxy.
+type ProxyConfig struct {
+	// ColdBytes is the per-cache working set pulled on a cold start
+	// (paper: ~1.5 GB per cache).
+	ColdBytes float64
+	// HotBytes is the residual per-task traffic with a hot cache (catalog
+	// revalidation and the odd uncached file).
+	HotBytes float64
+	// ProxyBandwidth is the proxy's total service bandwidth in bytes/s.
+	ProxyBandwidth float64
+	// ClientBandwidth caps what a single worker can pull (its NIC share and
+	// request pipelining limit); this sets where the knee appears:
+	// ProxyBandwidth / ClientBandwidth concurrent clients saturate the
+	// proxy (paper: ~1000 hot caches per proxy).
+	ClientBandwidth float64
+	// BaseOverhead is the task overhead unrelated to the proxy, seconds.
+	BaseOverhead float64
+	Seed         uint64
+}
+
+// DefaultProxyConfig is calibrated so one proxy sustains about 1000 hot
+// worker caches before overhead begins to climb, as in the paper.
+func DefaultProxyConfig() ProxyConfig {
+	return ProxyConfig{
+		ColdBytes:       1.5e9,
+		HotBytes:        30e6,
+		ProxyBandwidth:  12.5e9, // ~100 Gbit/s of cache service capacity
+		ClientBandwidth: 12.5e6, // ~100 Mbit/s per worker → knee at 1000
+		BaseOverhead:    10,
+		Seed:            1,
+	}
+}
+
+// ProxyPoint is one Figure 5 measurement: mean task overhead at a given
+// number of tasks sharing one proxy.
+type ProxyPoint struct {
+	Tasks        int
+	MeanOverhead float64 // seconds
+}
+
+// SimulateProxyLoad runs one wave of n simultaneous tasks against a single
+// proxy and returns the mean per-task overhead (setup time).
+func SimulateProxyLoad(cfg ProxyConfig, n int, cold bool) (ProxyPoint, error) {
+	if n < 1 {
+		return ProxyPoint{}, fmt.Errorf("sim: proxy load with %d tasks", n)
+	}
+	if cfg.ProxyBandwidth <= 0 || cfg.ClientBandwidth <= 0 {
+		return ProxyPoint{}, fmt.Errorf("sim: invalid proxy config %+v", cfg)
+	}
+	bytes := cfg.ColdBytes
+	if !cold {
+		bytes = cfg.HotBytes
+	}
+	s := simevent.New()
+	link := simevent.NewLink(s, cfg.ProxyBandwidth)
+	rng := stats.NewRand(cfg.Seed)
+	var sum stats.Summary
+	for i := 0; i < n; i++ {
+		// Small start jitter keeps event ordering realistic without
+		// changing the load picture.
+		jitter := rng.Float64()
+		s.Go(func(p *simevent.Proc) {
+			p.Wait(jitter)
+			start := p.Now()
+			// The transfer is bounded both by the shared proxy capacity
+			// (processor sharing on the link) and by the client's own
+			// bandwidth cap.
+			link.Transfer(p, bytes)
+			elapsed := p.Now() - start
+			if floor := bytes / cfg.ClientBandwidth; elapsed < floor {
+				p.Wait(floor - elapsed)
+				elapsed = floor
+			}
+			sum.Add(cfg.BaseOverhead + elapsed)
+		})
+	}
+	s.Run()
+	return ProxyPoint{Tasks: n, MeanOverhead: sum.Mean()}, nil
+}
+
+// Fig5Result holds the cold and hot curves.
+type Fig5Result struct {
+	Cold []ProxyPoint
+	Hot  []ProxyPoint
+}
+
+// Figure5 sweeps concurrent task counts for cold and hot caches.
+func Figure5(cfg ProxyConfig, taskCounts []int) (*Fig5Result, error) {
+	if len(taskCounts) == 0 {
+		taskCounts = []int{50, 100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 2000}
+	}
+	res := &Fig5Result{}
+	for _, n := range taskCounts {
+		p, err := SimulateProxyLoad(cfg, n, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Cold = append(res.Cold, p)
+		p, err = SimulateProxyLoad(cfg, n, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Hot = append(res.Hot, p)
+	}
+	return res, nil
+}
+
+// Knee returns the task count at which overhead first exceeds (1+tol) times
+// the unloaded overhead, i.e. where the proxy begins to saturate.
+func Knee(points []ProxyPoint, tol float64) int {
+	if len(points) == 0 {
+		return 0
+	}
+	base := points[0].MeanOverhead
+	for _, p := range points {
+		if p.MeanOverhead > base*(1+tol) {
+			return p.Tasks
+		}
+	}
+	return points[len(points)-1].Tasks
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"lobster/internal/simevent"
+	"lobster/internal/stats"
+)
+
+// MergeSimConfig parameterises the Figure 7 merging-mode comparison.
+type MergeSimConfig struct {
+	AnalysisTasks int
+	Workers       int        // concurrent task slots
+	TaskTime      stats.Dist // analysis task duration, seconds
+	OutputBytes   float64    // per analysis task
+	TargetBytes   float64    // merged file size target
+	// ChirpSlots caps concurrent storage-element transfers; ChirpBandwidth
+	// is its total link capacity.
+	ChirpSlots     int
+	ChirpBandwidth float64
+	// MergeOverhead is the fixed per-merge-task cost (environment, metadata).
+	MergeOverhead float64
+	// HDFSBandwidth is the in-cluster aggregate bandwidth for Hadoop merges,
+	// and HDFSReducers the reducer parallelism.
+	HDFSBandwidth float64
+	HDFSReducers  int
+	// StartFraction gates interleaved merging (paper: 10% processed).
+	StartFraction float64
+	Seed          uint64
+}
+
+// DefaultMergeSimConfig mirrors the production shapes: ~1 h analysis tasks
+// writing 50 MB outputs, merged toward 3.5 GB files.
+func DefaultMergeSimConfig() MergeSimConfig {
+	return MergeSimConfig{
+		AnalysisTasks:  2000,
+		Workers:        800,
+		TaskTime:       stats.Gaussian{Mu: 3600, Sigma: 600, Floor: 300},
+		OutputBytes:    50e6,
+		TargetBytes:    3.5e9,
+		ChirpSlots:     32,
+		ChirpBandwidth: 3.125e8, // one loaded server, ~2.5 Gbit/s
+		MergeOverhead:  120,
+		HDFSBandwidth:  2e9,
+		HDFSReducers:   20,
+		StartFraction:  0.10,
+		Seed:           1,
+	}
+}
+
+// MergeTimeline is the outcome for one merging mode.
+type MergeTimeline struct {
+	Mode              string
+	AnalysisDone      []float64 // completion times, seconds
+	MergeDone         []float64 // merge-task completion times
+	LastAnalysis      float64
+	LastMerge         float64 // the vertical bar in Figure 7
+	MergedFiles       int
+	WorkerSecondsUsed float64 // resource consumption incl. merging
+}
+
+// SimulateMerging runs the workload under one merge mode: "sequential",
+// "hadoop", or "interleaved".
+func SimulateMerging(cfg MergeSimConfig, mode string) (*MergeTimeline, error) {
+	switch mode {
+	case "sequential", "hadoop", "interleaved":
+	default:
+		return nil, fmt.Errorf("sim: unknown merge mode %q", mode)
+	}
+	if cfg.AnalysisTasks <= 0 || cfg.Workers <= 0 {
+		return nil, fmt.Errorf("sim: invalid merge config %+v", cfg)
+	}
+	s := simevent.New()
+	rng := stats.NewRand(cfg.Seed)
+	slots := simevent.NewResource(s, cfg.Workers)
+	chirpSlots := simevent.NewResource(s, cfg.ChirpSlots)
+	chirpLink := simevent.NewLink(s, cfg.ChirpBandwidth)
+
+	tl := &MergeTimeline{Mode: mode}
+	outputsPerMerge := int(math.Ceil(cfg.TargetBytes / cfg.OutputBytes))
+	var unmerged int  // outputs awaiting merge
+	var analysed int  // analysis tasks finished
+	var mergeBusy int // merge tasks in flight
+
+	// chirpMove models one storage-element transfer: bounded by the slot
+	// cap (the paper's concurrent-connection limit) and the shared link.
+	chirpMove := func(p *simevent.Proc, bytes float64) {
+		chirpSlots.Acquire(p)
+		chirpLink.Transfer(p, bytes)
+		chirpSlots.Release()
+	}
+
+	// runMerge executes one merge task over n outputs on a worker slot.
+	runMerge := func(p *simevent.Proc, n int) {
+		start := p.Now()
+		slots.Acquire(p)
+		p.Wait(cfg.MergeOverhead)
+		// Fetch each small input, then write the merged file.
+		for i := 0; i < n; i++ {
+			chirpMove(p, cfg.OutputBytes)
+		}
+		chirpMove(p, float64(n)*cfg.OutputBytes)
+		slots.Release()
+		tl.MergeDone = append(tl.MergeDone, p.Now())
+		tl.MergedFiles++
+		tl.WorkerSecondsUsed += p.Now() - start
+		mergeBusy--
+	}
+
+	// spawnMerges starts merge tasks for accumulated outputs; in
+	// interleaved mode partial groups stay back until they fill up.
+	spawnMerges := func(final bool) {
+		for unmerged >= outputsPerMerge || (final && unmerged > 0) {
+			n := outputsPerMerge
+			if n > unmerged {
+				n = unmerged
+			}
+			unmerged -= n
+			mergeBusy++
+			nn := n
+			s.Go(func(p *simevent.Proc) { runMerge(p, nn) })
+		}
+	}
+
+	// Analysis tasks.
+	for i := 0; i < cfg.AnalysisTasks; i++ {
+		dur := cfg.TaskTime.Sample(rng)
+		s.Go(func(p *simevent.Proc) {
+			start := p.Now()
+			slots.Acquire(p)
+			p.Wait(dur)
+			chirpMove(p, cfg.OutputBytes)
+			slots.Release()
+			tl.AnalysisDone = append(tl.AnalysisDone, p.Now())
+			tl.WorkerSecondsUsed += p.Now() - start
+			analysed++
+			unmerged++
+			if mode == "interleaved" &&
+				float64(analysed) >= cfg.StartFraction*float64(cfg.AnalysisTasks) {
+				spawnMerges(false)
+			}
+			if analysed == cfg.AnalysisTasks {
+				tl.LastAnalysis = p.Now()
+				switch mode {
+				case "sequential", "interleaved":
+					spawnMerges(true)
+				case "hadoop":
+					startHadoopMerge(s, cfg, tl, &unmerged)
+				}
+			}
+		})
+	}
+	s.Run()
+	if len(tl.MergeDone) > 0 {
+		tl.LastMerge = tl.MergeDone[0]
+		for _, t := range tl.MergeDone {
+			if t > tl.LastMerge {
+				tl.LastMerge = t
+			}
+		}
+	}
+	_ = mergeBusy
+	return tl, nil
+}
+
+// startHadoopMerge models the in-cluster MapReduce merge: reducers run in
+// parallel inside the storage cluster at HDFS bandwidth, with no Chirp
+// traffic.
+func startHadoopMerge(s *simevent.Sim, cfg MergeSimConfig, tl *MergeTimeline, unmerged *int) {
+	outputsPerMerge := int(math.Ceil(cfg.TargetBytes / cfg.OutputBytes))
+	groups := 0
+	for *unmerged > 0 {
+		n := outputsPerMerge
+		if n > *unmerged {
+			n = *unmerged
+		}
+		*unmerged -= n
+		groups++
+		nn := n
+		g := groups
+		s.Go(func(p *simevent.Proc) {
+			// Wait for a reducer slot (groups beyond the reducer count queue).
+			wave := (g - 1) / cfg.HDFSReducers
+			jobStartup := 300.0 // job submission + JVM spin-up era cost
+			perGroup := float64(nn) * cfg.OutputBytes * 2 / (cfg.HDFSBandwidth / float64(cfg.HDFSReducers))
+			p.Wait(jobStartup + float64(wave)*perGroup + perGroup)
+			tl.MergeDone = append(tl.MergeDone, p.Now())
+			tl.MergedFiles++
+		})
+	}
+}
+
+// Figure7 runs all three modes and returns them in paper order.
+func Figure7(cfg MergeSimConfig) ([]*MergeTimeline, error) {
+	var out []*MergeTimeline
+	for _, mode := range []string{"sequential", "hadoop", "interleaved"} {
+		tl, err := SimulateMerging(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tl)
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package simevent
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that advances only in simulated
+// time. Procs are created with Sim.Go and may only call their methods from
+// within their own goroutine.
+//
+// The kernel guarantees that exactly one goroutine (the scheduler or one
+// proc) runs at a time, so proc code needs no locking against other procs.
+type Proc struct {
+	sim    *Sim
+	resume chan struct{}
+	yield  chan struct{}
+	// Interrupted is set when the proc was woken by Interrupt rather than by
+	// the condition it was waiting for. Cleared on the next suspension.
+	interrupted bool
+	interruptOK bool // proc is in an interruptible wait
+	wake        func()
+	dead        bool
+}
+
+// Go starts fn as a new simulated process at the current simulated time.
+func (s *Sim) Go(fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.procs++
+	s.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			p.sim.procs--
+			p.yield <- struct{}{}
+		}()
+		p.activate()
+	})
+	return p
+}
+
+// activate hands control to the proc and blocks the caller (scheduler side)
+// until the proc suspends or finishes. Must be called from scheduler context
+// (inside an event callback).
+func (p *Proc) activate() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// suspend hands control back to the scheduler and blocks until resumed.
+// Must be called from the proc's own goroutine.
+func (p *Proc) suspend() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sim returns the simulation this proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.sim.now }
+
+// Wait suspends the proc for d units of simulated time. It returns false if
+// the wait was cut short by Interrupt.
+func (p *Proc) Wait(d float64) bool {
+	if d < 0 {
+		panic(fmt.Sprintf("simevent: Wait(%g)", d))
+	}
+	ev := p.sim.Schedule(d, p.wakeup)
+	ok := p.parkInterruptible()
+	if !ok {
+		p.sim.Cancel(ev)
+	}
+	return ok
+}
+
+// WaitUntil suspends until absolute simulated time t (no-op if t <= now).
+// It returns false if interrupted early.
+func (p *Proc) WaitUntil(t float64) bool {
+	if t <= p.sim.now {
+		return true
+	}
+	return p.Wait(t - p.sim.now)
+}
+
+// wakeup resumes the proc from scheduler context.
+func (p *Proc) wakeup() {
+	if p.dead {
+		return
+	}
+	p.activate()
+}
+
+// parkInterruptible suspends until wakeup or Interrupt; reports true for a
+// normal wakeup, false for an interrupt.
+func (p *Proc) parkInterruptible() bool {
+	p.interruptOK = true
+	p.suspend()
+	p.interruptOK = false
+	if p.interrupted {
+		p.interrupted = false
+		return false
+	}
+	return true
+}
+
+// park suspends until wakeup, ignoring interrupts (they are deferred: the
+// flag remains set and will be observed at the next interruptible wait).
+func (p *Proc) park() {
+	p.suspend()
+}
+
+// Interrupt wakes the proc if it is blocked in an interruptible wait
+// (Wait/WaitUntil/AwaitSignal). The victim's wait method returns false.
+// Must be called from scheduler context or another proc — never from the
+// victim itself. If the proc is not currently interruptible the call is a
+// no-op.
+func (p *Proc) Interrupt() {
+	if p.dead || !p.interruptOK {
+		return
+	}
+	p.interrupted = true
+	p.sim.Schedule(0, func() {
+		if !p.dead && p.interrupted {
+			p.activate()
+		}
+	})
+}
+
+// Dead reports whether the proc's function has returned.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Signal is a broadcast condition variable for procs. The zero value is
+// ready to use after binding to a Sim via NewSignal.
+type Signal struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to s.
+func NewSignal(s *Sim) *Signal { return &Signal{sim: s} }
+
+// Await suspends p until the next Broadcast. It returns false if interrupted.
+func (sg *Signal) Await(p *Proc) bool {
+	sg.waiters = append(sg.waiters, p)
+	ok := p.parkInterruptible()
+	if !ok {
+		// Remove self from waiters if still present.
+		for i, w := range sg.waiters {
+			if w == p {
+				sg.waiters = append(sg.waiters[:i], sg.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// Broadcast wakes all current waiters (in FIFO order, each via its own
+// zero-delay event).
+func (sg *Signal) Broadcast() {
+	ws := sg.waiters
+	sg.waiters = nil
+	for _, w := range ws {
+		w := w
+		sg.sim.Schedule(0, func() { w.wakeup() })
+	}
+}
+
+// Waiters returns the number of procs currently blocked on the signal.
+func (sg *Signal) Waiters() int { return len(sg.waiters) }

@@ -1,0 +1,148 @@
+package simevent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lobster/internal/stats"
+)
+
+// TestLinkConservationProperty: for arbitrary transfer sets, every transfer
+// completes, total bytes moved equals the sum of sizes, and the makespan is
+// at least the aggregate-bandwidth lower bound.
+func TestLinkConservationProperty(t *testing.T) {
+	check := func(sizes []uint16, capSeed uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		capacity := float64(capSeed%100)*10 + 10 // 10..1000 B/s
+		s := New()
+		l := NewLink(s, capacity)
+		var total float64
+		done := 0
+		rng := stats.NewRand(uint64(capSeed) + 1)
+		for _, raw := range sizes {
+			bytes := float64(raw%5000) + 1
+			total += bytes
+			jitter := rng.Float64() * 10
+			s.Go(func(p *Proc) {
+				p.Wait(jitter)
+				if l.Transfer(p, bytes) {
+					done++
+				}
+			})
+		}
+		s.Run()
+		if done != len(sizes) {
+			return false
+		}
+		if l.Active() != 0 {
+			return false
+		}
+		// Bytes moved match the demand (PS accounting is exact on
+		// completion boundaries).
+		if math.Abs(l.BytesMoved()-total) > 1e-3*total+1 {
+			return false
+		}
+		// Makespan lower bound: all bytes at full capacity, plus the last
+		// arrival jitter upper bound.
+		if s.Now()+1e-9 < total/capacity {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourceNeverOversubscribedProperty: random acquire/hold/release
+// workloads never exceed capacity and always drain.
+func TestResourceNeverOversubscribedProperty(t *testing.T) {
+	check := func(holds []uint8, capSeed uint8) bool {
+		if len(holds) == 0 {
+			return true
+		}
+		if len(holds) > 80 {
+			holds = holds[:80]
+		}
+		capacity := int(capSeed%8) + 1
+		s := New()
+		r := NewResource(s, capacity)
+		maxInUse := 0
+		completed := 0
+		rng := stats.NewRand(uint64(capSeed) + 7)
+		for _, h := range holds {
+			hold := float64(h%50) + 1
+			jitter := rng.Float64() * 20
+			s.Go(func(p *Proc) {
+				p.Wait(jitter)
+				if !r.Acquire(p) {
+					return
+				}
+				if r.InUse() > maxInUse {
+					maxInUse = r.InUse()
+				}
+				p.Wait(hold)
+				r.Release()
+				completed++
+			})
+		}
+		s.Run()
+		return completed == len(holds) && maxInUse <= capacity && r.InUse() == 0 && r.QueueLen() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkFairnessTwoClasses: under processor sharing, two simultaneous
+// transfers of sizes B and 2B finish such that the smaller completes first
+// and the larger takes exactly the full-capacity time of B+2B.
+func TestLinkFairnessTwoClasses(t *testing.T) {
+	s := New()
+	l := NewLink(s, 100)
+	var tSmall, tLarge float64
+	s.Go(func(p *Proc) {
+		l.Transfer(p, 1000)
+		tSmall = p.Now()
+	})
+	s.Go(func(p *Proc) {
+		l.Transfer(p, 2000)
+		tLarge = p.Now()
+	})
+	s.Run()
+	// Small: shares until 2000 served-per-stream... under PS both get 50 B/s;
+	// small done at t=20; then large alone: 1000 left at 100 B/s → t=30.
+	if math.Abs(tSmall-20) > 1e-6 || math.Abs(tLarge-30) > 1e-6 {
+		t.Fatalf("completion times %g, %g; want 20, 30", tSmall, tLarge)
+	}
+}
+
+// TestManyTransfersPerformance guards the O(log n) link: 20k concurrent
+// transfers must complete in well under a second of wall time.
+func TestManyTransfersPerformance(t *testing.T) {
+	s := New()
+	l := NewLink(s, 1e9)
+	const n = 20000
+	done := 0
+	rng := stats.NewRand(3)
+	for i := 0; i < n; i++ {
+		bytes := 1e5 + rng.Float64()*1e6
+		jitter := rng.Float64() * 100
+		s.Go(func(p *Proc) {
+			p.Wait(jitter)
+			if l.Transfer(p, bytes) {
+				done++
+			}
+		})
+	}
+	s.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+}

@@ -1,0 +1,266 @@
+// Package squid implements a caching HTTP proxy in the role the Squid
+// proxies play in the paper: absorbing the load that thousands of worker
+// caches would otherwise place on the CVMFS repository and the Frontier
+// conditions service.
+//
+// The proxy caches successful GET responses in an LRU bounded by bytes,
+// coalesces concurrent misses for the same URL into a single origin fetch
+// (exactly the behaviour that makes a cold-start "wave" of identical
+// requests survivable), and bounds concurrent origin connections. Proxies
+// chain: a site proxy's origin may itself be another proxy.
+package squid
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stats is a snapshot of proxy counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	OriginErrors  int64
+	BytesServed   int64
+	BytesFetched  int64 // from origin (misses only)
+	CachedObjects int
+	CachedBytes   int64
+	Evictions     int64
+	Coalesced     int64 // requests satisfied by piggybacking on an in-flight fetch
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Config tunes a Proxy.
+type Config struct {
+	// CapacityBytes bounds the cache size. Zero means 1 GiB.
+	CapacityBytes int64
+	// MaxOriginConns bounds concurrent origin fetches. Zero means 64.
+	MaxOriginConns int
+	// Client performs origin requests; nil means http.DefaultClient with a
+	// 30 s timeout.
+	Client *http.Client
+}
+
+// Proxy is a caching HTTP proxy in front of a single origin base URL.
+// It implements http.Handler: the request path+query is appended to the
+// origin base. Safe for concurrent use.
+type Proxy struct {
+	origin *url.URL
+	client *http.Client
+	sem    chan struct{}
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	lru      *list.List               // of *entry, front = most recent
+	items    map[string]*list.Element // key → element
+	inflight map[string]*fetch
+	stats    Stats
+}
+
+type entry struct {
+	key  string
+	body []byte
+	hdr  http.Header
+}
+
+type fetch struct {
+	done chan struct{}
+	ent  *entry
+	err  error
+}
+
+// New returns a proxy forwarding cache misses to the origin base URL.
+func New(origin string, cfg Config) (*Proxy, error) {
+	u, err := url.Parse(origin)
+	if err != nil {
+		return nil, fmt.Errorf("squid: bad origin %q: %w", origin, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("squid: origin %q must be absolute", origin)
+	}
+	if cfg.CapacityBytes <= 0 {
+		cfg.CapacityBytes = 1 << 30
+	}
+	if cfg.MaxOriginConns <= 0 {
+		cfg.MaxOriginConns = 64
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Proxy{
+		origin:   u,
+		client:   client,
+		sem:      make(chan struct{}, cfg.MaxOriginConns),
+		capacity: cfg.CapacityBytes,
+		lru:      list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*fetch),
+	}, nil
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.CachedObjects = p.lru.Len()
+	s.CachedBytes = p.used
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "squid: only GET is proxied", http.StatusMethodNotAllowed)
+		return
+	}
+	key := r.URL.Path
+	if r.URL.RawQuery != "" {
+		key += "?" + r.URL.RawQuery
+	}
+	ent, hit, err := p.get(key)
+	if err != nil {
+		p.mu.Lock()
+		p.stats.OriginErrors++
+		p.mu.Unlock()
+		http.Error(w, "squid: origin fetch failed: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	h := w.Header()
+	for k, vs := range ent.hdr {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	if hit {
+		h.Set("X-Cache", "HIT")
+	} else {
+		h.Set("X-Cache", "MISS")
+	}
+	p.mu.Lock()
+	p.stats.BytesServed += int64(len(ent.body))
+	p.mu.Unlock()
+	w.Write(ent.body)
+}
+
+// get returns the entry for key, fetching from origin on a miss. The hit
+// result reports whether the entry came from cache.
+func (p *Proxy) get(key string) (*entry, bool, error) {
+	p.mu.Lock()
+	if el, ok := p.items[key]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		ent := el.Value.(*entry)
+		p.mu.Unlock()
+		return ent, true, nil
+	}
+	// Coalesce with an in-flight fetch if one exists.
+	if f, ok := p.inflight[key]; ok {
+		p.stats.Coalesced++
+		p.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.ent, false, nil
+	}
+	f := &fetch{done: make(chan struct{})}
+	p.inflight[key] = f
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	f.ent, f.err = p.fetchOrigin(key)
+	p.mu.Lock()
+	delete(p.inflight, key)
+	if f.err == nil && cacheable(f.ent.hdr) {
+		p.insertLocked(f.ent)
+	}
+	p.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	return f.ent, false, nil
+}
+
+// cacheable reports whether the response headers permit caching.
+func cacheable(h http.Header) bool {
+	cc := h.Get("Cache-Control")
+	if strings.Contains(cc, "no-cache") || strings.Contains(cc, "no-store") {
+		return false
+	}
+	return true
+}
+
+// insertLocked adds ent to the cache, evicting LRU entries to fit.
+// Objects larger than the whole capacity are not cached.
+func (p *Proxy) insertLocked(ent *entry) {
+	size := int64(len(ent.body))
+	if size > p.capacity {
+		return
+	}
+	if _, exists := p.items[ent.key]; exists {
+		return
+	}
+	for p.used+size > p.capacity && p.lru.Len() > 0 {
+		back := p.lru.Back()
+		victim := back.Value.(*entry)
+		p.lru.Remove(back)
+		delete(p.items, victim.key)
+		p.used -= int64(len(victim.body))
+		p.stats.Evictions++
+	}
+	p.items[ent.key] = p.lru.PushFront(ent)
+	p.used += size
+}
+
+// fetchOrigin performs the bounded origin request.
+func (p *Proxy) fetchOrigin(key string) (*entry, error) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	u := *p.origin
+	if i := strings.IndexByte(key, '?'); i >= 0 {
+		u.Path = key[:i]
+		u.RawQuery = key[i+1:]
+	} else {
+		u.Path = key
+	}
+	resp, err := p.client.Get(u.String())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("origin status %s for %s", resp.Status, key)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make(http.Header)
+	for _, k := range []string{"Content-Type", "Cache-Control"} {
+		if v := resp.Header.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	p.mu.Lock()
+	p.stats.BytesFetched += int64(len(body))
+	p.mu.Unlock()
+	return &entry{key: key, body: body, hdr: hdr}, nil
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with uniform bin width.
+// Values below Lo land in an underflow bin; values at or above Hi land in an
+// overflow bin.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int
+	Underflow int
+	Overflow  int
+	total     int
+	sum       float64
+}
+
+// NewHistogram creates a histogram with bins uniform bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: invalid histogram range [%g,%g)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) { h.AddN(v, 1) }
+
+// AddN records a value with multiplicity n.
+func (h *Histogram) AddN(v float64, n int) {
+	h.total += n
+	h.sum += v * float64(n)
+	switch {
+	case v < h.Lo:
+		h.Underflow += n
+	case v >= h.Hi:
+		h.Overflow += n
+	default:
+		i := int((v - h.Lo) / h.BinWidth())
+		if i >= len(h.Counts) { // float edge case at upper boundary
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i] += n
+	}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Total returns the number of recorded values, including under/overflow.
+func (h *Histogram) Total() int { return h.total }
+
+// Mean returns the mean of all recorded values (exact, not binned).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Fraction returns the fraction of in-range entries in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Quantile returns an approximate quantile from the binned data.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	cum := float64(h.Underflow)
+	if cum >= target {
+		return h.Lo
+	}
+	for i, c := range h.Counts {
+		if cum+float64(c) >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*h.BinWidth()
+		}
+		cum += float64(c)
+	}
+	return h.Hi
+}
+
+// Merge adds other's contents into h. The histograms must have identical
+// binning.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h.Lo != other.Lo || h.Hi != other.Hi || len(h.Counts) != len(other.Counts) {
+		return fmt.Errorf("stats: merging incompatible histograms [%g,%g)x%d vs [%g,%g)x%d",
+			h.Lo, h.Hi, len(h.Counts), other.Lo, other.Hi, len(other.Counts))
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.Underflow += other.Underflow
+	h.Overflow += other.Overflow
+	h.total += other.total
+	h.sum += other.sum
+	return nil
+}
+
+// Render returns an ASCII bar rendering with the given maximum bar width,
+// used by the figure generators to sketch distributions in terminal output.
+func (h *Histogram) Render(width int) string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "%10.3f |%-*s| %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// TimeSeries accumulates (time, value) samples into fixed-width time bins,
+// reporting per-bin sums, counts, or means. It is the backbone of every
+// timeline plot in the paper (Figs. 7, 10, 11).
+type TimeSeries struct {
+	Start, End float64
+	BinWidth   float64
+	sums       []float64
+	counts     []int
+}
+
+// NewTimeSeries creates a series covering [start, end) with the given bin
+// width. The final bin may be partial.
+func NewTimeSeries(start, end, binWidth float64) *TimeSeries {
+	if binWidth <= 0 || end <= start {
+		panic(fmt.Sprintf("stats: invalid time series [%g,%g) width %g", start, end, binWidth))
+	}
+	n := int(math.Ceil((end - start) / binWidth))
+	return &TimeSeries{Start: start, End: end, BinWidth: binWidth,
+		sums: make([]float64, n), counts: make([]int, n)}
+}
+
+// Add records value v at time t. Samples outside [Start, End) are dropped.
+func (ts *TimeSeries) Add(t, v float64) {
+	if t < ts.Start || t >= ts.End {
+		return
+	}
+	i := int((t - ts.Start) / ts.BinWidth)
+	if i >= len(ts.sums) {
+		i = len(ts.sums) - 1
+	}
+	ts.sums[i] += v
+	ts.counts[i]++
+}
+
+// Bins returns the number of bins.
+func (ts *TimeSeries) Bins() int { return len(ts.sums) }
+
+// BinTime returns the start time of bin i.
+func (ts *TimeSeries) BinTime(i int) float64 { return ts.Start + float64(i)*ts.BinWidth }
+
+// Sum returns the sum of values in bin i.
+func (ts *TimeSeries) Sum(i int) float64 { return ts.sums[i] }
+
+// Count returns the number of samples in bin i.
+func (ts *TimeSeries) Count(i int) int { return ts.counts[i] }
+
+// MeanAt returns the mean value in bin i, or 0 if empty.
+func (ts *TimeSeries) MeanAt(i int) float64 {
+	if ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.sums[i] / float64(ts.counts[i])
+}
+
+// Sums returns a copy of all per-bin sums.
+func (ts *TimeSeries) Sums() []float64 { return append([]float64(nil), ts.sums...) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of data. The slice is
+// not modified.
+func Percentile(data []float64, p float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}

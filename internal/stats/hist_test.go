@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{-1, 0, 0.5, 5, 9.99, 10, 42} {
+		h.Add(v)
+	}
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d", h.Underflow)
+	}
+	if h.Overflow != 2 {
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	if h.Counts[0] != 2 { // 0 and 0.5
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("bins 5,9 = %d,%d", h.Counts[5], h.Counts[9])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram(0, 100, 4)
+	h.Add(10)
+	h.Add(20)
+	h.Add(30)
+	if h.Mean() != 20 {
+		t.Errorf("mean = %g", h.Mean())
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddN(5, 7)
+	if h.Counts[5] != 7 || h.Total() != 7 {
+		t.Errorf("AddN: counts[5]=%d total=%d", h.Counts[5], h.Total())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.BinCenter(0) != 0.5 || h.BinCenter(9) != 9.5 {
+		t.Errorf("centers %g %g", h.BinCenter(0), h.BinCenter(9))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if math.Abs(med-50) > 1.5 {
+		t.Errorf("median = %g, want ~50", med)
+	}
+}
+
+func TestHistogramMergeMatchesCombined(t *testing.T) {
+	check := func(a, b []float64) bool {
+		h1 := NewHistogram(-10, 10, 20)
+		h2 := NewHistogram(-10, 10, 20)
+		hAll := NewHistogram(-10, 10, 20)
+		for _, v := range a {
+			h1.Add(v)
+			hAll.Add(v)
+		}
+		for _, v := range b {
+			h2.Add(v)
+			hAll.Add(v)
+		}
+		if err := h1.Merge(h2); err != nil {
+			return false
+		}
+		if h1.Total() != hAll.Total() || h1.Underflow != hAll.Underflow || h1.Overflow != hAll.Overflow {
+			return false
+		}
+		for i := range h1.Counts {
+			if h1.Counts[i] != hAll.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeIncompatible(t *testing.T) {
+	h1 := NewHistogram(0, 10, 10)
+	h2 := NewHistogram(0, 20, 10)
+	if err := h1.Merge(h2); err == nil {
+		t.Error("merge of incompatible histograms succeeded")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("render missing full bar:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("render wrong line count:\n%s", out)
+	}
+}
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(0, 100, 10)
+	if ts.Bins() != 10 {
+		t.Fatalf("bins = %d", ts.Bins())
+	}
+	ts.Add(5, 1)
+	ts.Add(5, 2)
+	ts.Add(95, 4)
+	ts.Add(-1, 100) // dropped
+	ts.Add(100, 100)
+	if ts.Sum(0) != 3 || ts.Count(0) != 2 {
+		t.Errorf("bin 0: sum=%g count=%d", ts.Sum(0), ts.Count(0))
+	}
+	if ts.Sum(9) != 4 {
+		t.Errorf("bin 9: sum=%g", ts.Sum(9))
+	}
+	if ts.MeanAt(0) != 1.5 {
+		t.Errorf("mean bin 0 = %g", ts.MeanAt(0))
+	}
+	if ts.MeanAt(3) != 0 {
+		t.Errorf("empty bin mean = %g", ts.MeanAt(3))
+	}
+	if ts.BinTime(3) != 30 {
+		t.Errorf("BinTime(3) = %g", ts.BinTime(3))
+	}
+}
+
+func TestTimeSeriesPartialLastBin(t *testing.T) {
+	ts := NewTimeSeries(0, 95, 10)
+	if ts.Bins() != 10 {
+		t.Fatalf("bins = %d", ts.Bins())
+	}
+	ts.Add(94, 1)
+	if ts.Sum(9) != 1 {
+		t.Errorf("last bin sum = %g", ts.Sum(9))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Percentile(data, 0) != 1 {
+		t.Errorf("p0 = %g", Percentile(data, 0))
+	}
+	if Percentile(data, 100) != 9 {
+		t.Errorf("p100 = %g", Percentile(data, 100))
+	}
+	med := Percentile(data, 50)
+	if math.Abs(med-3.5) > 1e-9 {
+		t.Errorf("median = %g", med)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Input must not be reordered.
+	if data[0] != 3 || data[7] != 6 {
+		t.Error("Percentile mutated its input")
+	}
+}

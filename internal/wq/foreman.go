@@ -1,0 +1,152 @@
+package wq
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Foreman sits between a master and a set of workers: upstream it looks
+// like one big worker, downstream it is a master. The paper uses "one
+// intermediate rank of four foremen driving a variable number of workers
+// managing eight cores each" to spread the load of distributing sandboxes
+// and collecting results.
+//
+// The foreman caches cacheable inputs, so the master ships each sandbox to
+// each foreman once, and each foreman ships it to each worker once.
+type Foreman struct {
+	name     string
+	cores    int
+	upstream *conn
+	down     *Master
+	cache    *contentCache
+
+	mu      sync.Mutex
+	idMap   map[int64]int64 // downstream ID → upstream ID
+	relayed atomic.Int64
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// NewForeman connects to the master at upstreamAddr, advertising cores
+// upstream, and listens for downstream workers on listenAddr.
+func NewForeman(upstreamAddr, listenAddr, name string, cores int) (*Foreman, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("wq: foreman needs at least one core")
+	}
+	down, err := NewMaster(listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("wq: foreman downstream: %w", err)
+	}
+	raw, err := net.DialTimeout("tcp", upstreamAddr, 30*time.Second)
+	if err != nil {
+		down.Close()
+		return nil, fmt.Errorf("wq: foreman dialing master: %w", err)
+	}
+	f := &Foreman{
+		name:     name,
+		cores:    cores,
+		upstream: newConn(raw),
+		down:     down,
+		cache:    newContentCache(),
+		idMap:    make(map[int64]int64),
+	}
+	if err := f.upstream.send(&message{Type: "hello", Name: name, Cores: cores}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.wg.Add(2)
+	go f.taskLoop()
+	go f.resultLoop()
+	return f, nil
+}
+
+// Addr returns the address downstream workers should connect to.
+func (f *Foreman) Addr() string { return f.down.Addr() }
+
+// Relayed returns the number of results relayed upstream.
+func (f *Foreman) Relayed() int64 { return f.relayed.Load() }
+
+// CachedObjects returns the number of cacheable inputs held.
+func (f *Foreman) CachedObjects() int { return f.cache.len() }
+
+// DownstreamStats exposes the foreman's internal master counters.
+func (f *Foreman) DownstreamStats() MasterStats { return f.down.Stats() }
+
+// Close tears down both sides.
+func (f *Foreman) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
+	f.upstream.close()
+	err := f.down.Close()
+	f.wg.Wait()
+	return err
+}
+
+// taskLoop receives tasks from the master and resubmits them downstream.
+func (f *Foreman) taskLoop() {
+	defer f.wg.Done()
+	for {
+		msg, err := f.upstream.recv()
+		if err != nil {
+			// Upstream gone: a real deployment would retry; tests close here.
+			return
+		}
+		switch msg.Type {
+		case "task":
+			if msg.Task == nil {
+				continue
+			}
+			t := msg.Task
+			upstreamID := t.ID
+			// Materialise stripped cacheable inputs from the foreman cache
+			// so they can be re-encoded per downstream connection.
+			if _, _, err := decodeInputs(t, f.cache); err != nil {
+				f.upstream.send(&message{Type: "result", Result: &Result{
+					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
+					ExitCode: 170, Error: fmt.Sprintf("foreman cache: %v", err),
+				}})
+				continue
+			}
+			downID, err := f.down.Submit(t)
+			if err != nil {
+				f.upstream.send(&message{Type: "result", Result: &Result{
+					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
+					ExitCode: 170, Error: fmt.Sprintf("foreman submit: %v", err),
+				}})
+				continue
+			}
+			f.mu.Lock()
+			f.idMap[downID] = upstreamID
+			f.mu.Unlock()
+		case "ping":
+			f.upstream.send(&message{Type: "ping"})
+		}
+	}
+}
+
+// resultLoop relays downstream results upstream with their original IDs.
+func (f *Foreman) resultLoop() {
+	defer f.wg.Done()
+	for {
+		r, ok := f.down.WaitResult(0)
+		if !ok {
+			return
+		}
+		f.mu.Lock()
+		upID, known := f.idMap[r.TaskID]
+		delete(f.idMap, r.TaskID)
+		f.mu.Unlock()
+		if !known {
+			continue
+		}
+		r.TaskID = upID
+		f.relayed.Add(1)
+		if err := f.upstream.send(&message{Type: "result", Result: r}); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package wq
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// MasterStats is a snapshot of master-side counters.
+type MasterStats struct {
+	WorkersConnected int // currently connected (foremen count as one)
+	WorkersSeen      int // total hellos
+	WorkersLost      int // connections dropped with tasks outstanding or not
+	CoresConnected   int
+	TasksWaiting     int
+	TasksRunning     int
+	TasksDone        int
+	TasksFailed      int // done with failure
+	Requeues         int // dispatches repeated after worker loss
+}
+
+// Master owns the task queue and distributes work to connected workers.
+type Master struct {
+	lis net.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	nextID  int64
+	ready   []*Task // FIFO
+	running map[int64]*assignment
+	submitT map[int64]time.Time
+	dispT   map[int64]time.Time
+	retries map[int64]int
+	workers map[*workerConn]bool
+
+	resMu   sync.Mutex
+	resCond *sync.Cond
+	results []*Result
+
+	statsSeen, statsLost, statsDone, statsFailed, statsRequeues int
+
+	wg sync.WaitGroup
+}
+
+type assignment struct {
+	task *Task
+	wc   *workerConn
+}
+
+type workerConn struct {
+	name  string
+	cores int
+	inUse int
+	dead  bool
+	conn  *conn
+	sent  *sentSet
+}
+
+// NewMaster starts a master listening on addr (e.g. "127.0.0.1:0").
+func NewMaster(addr string) (*Master, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wq: master listen: %w", err)
+	}
+	m := &Master{
+		lis:     lis,
+		running: make(map[int64]*assignment),
+		submitT: make(map[int64]time.Time),
+		dispT:   make(map[int64]time.Time),
+		retries: make(map[int64]int),
+		workers: make(map[*workerConn]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.resCond = sync.NewCond(&m.resMu)
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the master's listen address.
+func (m *Master) Addr() string { return m.lis.Addr().String() }
+
+// Submit queues a task and returns its assigned ID.
+func (m *Master) Submit(t *Task) (int64, error) {
+	if t.Func == "" {
+		return 0, errors.New("wq: task needs a Func")
+	}
+	if t.MaxRetries <= 0 {
+		t.MaxRetries = 5
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, errors.New("wq: master is closed")
+	}
+	m.nextID++
+	t.ID = m.nextID
+	m.ready = append(m.ready, t)
+	m.submitT[t.ID] = time.Now()
+	m.cond.Broadcast()
+	return t.ID, nil
+}
+
+// Stats returns a snapshot of master counters.
+func (m *Master) Stats() MasterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MasterStats{
+		WorkersSeen:  m.statsSeen,
+		WorkersLost:  m.statsLost,
+		TasksWaiting: len(m.ready),
+		TasksRunning: len(m.running),
+		TasksDone:    m.statsDone,
+		TasksFailed:  m.statsFailed,
+		Requeues:     m.statsRequeues,
+	}
+	for wc := range m.workers {
+		if !wc.dead {
+			s.WorkersConnected++
+			s.CoresConnected += wc.cores
+		}
+	}
+	return s
+}
+
+// WaitResult blocks until a result is available or the timeout elapses
+// (timeout <= 0 waits forever). The second return is false on timeout or
+// master close with no pending results.
+func (m *Master) WaitResult(timeout time.Duration) (*Result, bool) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// Wake the condition periodically so timeouts are honoured.
+		timer := time.AfterFunc(timeout, func() {
+			m.resMu.Lock()
+			m.resCond.Broadcast()
+			m.resMu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	m.resMu.Lock()
+	defer m.resMu.Unlock()
+	for len(m.results) == 0 {
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, false
+		}
+		m.resCond.Wait()
+	}
+	r := m.results[0]
+	m.results = m.results[1:]
+	return r, true
+}
+
+// pushResult records a completed task outcome.
+func (m *Master) pushResult(r *Result) {
+	m.resMu.Lock()
+	m.results = append(m.results, r)
+	m.resCond.Broadcast()
+	m.resMu.Unlock()
+}
+
+// Close shuts the master down. Queued and running tasks are abandoned.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for wc := range m.workers {
+		wc.dead = true
+		wc.conn.close()
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.resMu.Lock()
+	m.resCond.Broadcast()
+	m.resMu.Unlock()
+	err := m.lis.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *Master) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		raw, err := m.lis.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.serveWorker(newConn(raw))
+		}()
+	}
+}
+
+// serveWorker owns one worker connection: reads the hello, then runs the
+// dispatch loop and result reader until the connection dies.
+func (m *Master) serveWorker(c *conn) {
+	defer c.close()
+	hello, err := c.recv()
+	if err != nil || hello.Type != "hello" || hello.Cores < 1 {
+		return
+	}
+	wc := &workerConn{name: hello.Name, cores: hello.Cores, conn: c, sent: newSentSet()}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.workers[wc] = true
+	m.statsSeen++
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.dispatchLoop(wc)
+		close(done)
+	}()
+	m.readLoop(wc)
+	// Connection is gone: unblock the dispatcher and requeue.
+	m.mu.Lock()
+	wc.dead = true
+	m.statsLost++
+	delete(m.workers, wc)
+	var lost []*Task
+	for id, a := range m.running {
+		if a.wc == wc {
+			lost = append(lost, a.task)
+			delete(m.running, id)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	c.close()
+	<-done
+	for _, t := range lost {
+		m.requeue(t, wc.name)
+	}
+}
+
+// requeue returns a lost task to the queue, or fails it permanently when
+// its retry budget is exhausted.
+func (m *Master) requeue(t *Task, worker string) {
+	m.mu.Lock()
+	m.retries[t.ID]++
+	n := m.retries[t.ID]
+	if n <= t.MaxRetries && !m.closed {
+		m.statsRequeues++
+		m.ready = append(m.ready, t)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	m.statsDone++
+	m.statsFailed++
+	sub := m.submitT[t.ID]
+	m.mu.Unlock()
+	m.pushResult(&Result{
+		TaskID:   t.ID,
+		Tag:      t.Tag,
+		Worker:   worker,
+		ExitCode: -1,
+		Error:    fmt.Sprintf("worker lost and %d retries exhausted", t.MaxRetries),
+		Requeues: n,
+		Stats:    TaskStats{Times: TaskTimes{Submitted: sub, Returned: time.Now()}},
+	})
+}
+
+// dispatchLoop sends tasks to wc while it has free slots.
+func (m *Master) dispatchLoop(wc *workerConn) {
+	for {
+		m.mu.Lock()
+		for !m.closed && !wc.dead && (len(m.ready) == 0 || wc.inUse >= wc.cores) {
+			m.cond.Wait()
+		}
+		if m.closed || wc.dead {
+			m.mu.Unlock()
+			return
+		}
+		t := m.ready[0]
+		m.ready = m.ready[1:]
+		wc.inUse++
+		m.running[t.ID] = &assignment{task: t, wc: wc}
+		m.dispT[t.ID] = time.Now()
+		m.mu.Unlock()
+
+		msg := &message{Type: "task", Task: encodeInputs(t, wc.sent)}
+		if err := wc.conn.send(msg); err != nil {
+			// The read loop will notice the dead connection and requeue
+			// everything including this task; just stop dispatching.
+			m.mu.Lock()
+			wc.dead = true
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			return
+		}
+	}
+}
+
+// readLoop consumes results until the connection errors.
+func (m *Master) readLoop(wc *workerConn) {
+	for {
+		msg, err := wc.conn.recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case "result":
+			if msg.Result == nil {
+				continue
+			}
+			r := msg.Result
+			m.mu.Lock()
+			if _, ok := m.running[r.TaskID]; !ok {
+				// Unknown (already requeued elsewhere or duplicate): drop.
+				m.mu.Unlock()
+				continue
+			}
+			delete(m.running, r.TaskID)
+			wc.inUse--
+			m.statsDone++
+			if r.Failed() {
+				m.statsFailed++
+			}
+			r.Requeues = m.retries[r.TaskID]
+			r.Stats.Times.Submitted = m.submitT[r.TaskID]
+			r.Stats.Times.Dispatched = m.dispT[r.TaskID]
+			delete(m.submitT, r.TaskID)
+			delete(m.dispT, r.TaskID)
+			delete(m.retries, r.TaskID)
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			r.Stats.Times.Returned = time.Now()
+			m.pushResult(r)
+		case "ping":
+			wc.conn.send(&message{Type: "ping"})
+		}
+	}
+}
+
+// Drain waits until n results have been collected or the timeout expires,
+// returning the results gathered.
+func (m *Master) Drain(n int, timeout time.Duration) []*Result {
+	deadline := time.Now().Add(timeout)
+	out := make([]*Result, 0, n)
+	for len(out) < n {
+		remaining := time.Until(deadline)
+		if timeout > 0 && remaining <= 0 {
+			break
+		}
+		if timeout <= 0 {
+			remaining = 0
+		}
+		r, ok := m.WaitResult(remaining)
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}

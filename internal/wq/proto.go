@@ -1,0 +1,174 @@
+package wq
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The wire protocol is newline-delimited JSON messages in both directions.
+//
+//	worker → master:  hello {name, cores}
+//	master → worker:  task {task}
+//	worker → master:  result {result}
+//	either direction: ping {}
+//
+// Cacheable input files are sent with data the first time a given content
+// hash crosses a connection and with hash only afterwards; each side keeps a
+// per-connection record of what the peer holds plus a process-wide content
+// cache.
+
+type message struct {
+	Type   string  `json:"type"`
+	Name   string  `json:"name,omitempty"`
+	Cores  int     `json:"cores,omitempty"`
+	Task   *Task   `json:"task,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// conn wraps a net.Conn with JSON framing and a write lock so multiple
+// goroutines can send.
+type conn struct {
+	raw net.Conn
+	dec *json.Decoder
+
+	wmu sync.Mutex
+	enc *json.Encoder
+
+	bytesIn, bytesOut int64 // guarded by wmu for out, dec goroutine for in
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, dec: json.NewDecoder(raw), enc: json.NewEncoder(raw)}
+}
+
+func (c *conn) send(m *message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("wq: sending %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+func (c *conn) recv() (*message, error) {
+	var m message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// contentCache is a process-wide store of cacheable file contents by hash,
+// shared by all of a worker's slots (the paper's single cache directory per
+// worker) or by all of a foreman's downstream connections.
+type contentCache struct {
+	mu    sync.RWMutex
+	items map[string][]byte
+}
+
+func newContentCache() *contentCache {
+	return &contentCache{items: make(map[string][]byte)}
+}
+
+func (cc *contentCache) get(hash string) ([]byte, bool) {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	data, ok := cc.items[hash]
+	return data, ok
+}
+
+func (cc *contentCache) put(hash string, data []byte) {
+	cc.mu.Lock()
+	cc.items[hash] = data
+	cc.mu.Unlock()
+}
+
+// Len returns the number of cached objects.
+func (cc *contentCache) len() int {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return len(cc.items)
+}
+
+// sentSet tracks which hashes the peer on one connection already holds.
+type sentSet struct {
+	mu   sync.Mutex
+	sent map[string]bool
+}
+
+func newSentSet() *sentSet { return &sentSet{sent: make(map[string]bool)} }
+
+// markSent records hash and reports whether it was already sent.
+func (s *sentSet) markSent(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sent[hash] {
+		return true
+	}
+	s.sent[hash] = true
+	return false
+}
+
+// encodeInputs prepares a task's inputs for transmission on a connection:
+// cacheable files get their hash computed, and their data is stripped when
+// the peer has already received that hash.
+func encodeInputs(task *Task, peer *sentSet) *Task {
+	needsCopy := false
+	for i := range task.Inputs {
+		if task.Inputs[i].Cacheable {
+			needsCopy = true
+			break
+		}
+	}
+	if !needsCopy {
+		return task
+	}
+	t := *task
+	t.Inputs = make([]FileSpec, len(task.Inputs))
+	copy(t.Inputs, task.Inputs)
+	for i := range t.Inputs {
+		f := &t.Inputs[i]
+		if !f.Cacheable {
+			continue
+		}
+		if f.Hash == "" {
+			f.Hash = hashBytes(f.Data)
+		}
+		if peer.markSent(f.Hash) {
+			f.Data = nil // peer already holds it
+		}
+	}
+	return &t
+}
+
+// decodeInputs resolves received inputs against the local content cache,
+// storing newly-arrived cacheable data and filling in stripped data.
+// It returns cache hit/miss counts, or an error when a stripped input is
+// missing from the cache (protocol violation or evicted cache).
+func decodeInputs(task *Task, cache *contentCache) (hits, misses int, err error) {
+	for i := range task.Inputs {
+		f := &task.Inputs[i]
+		if !f.Cacheable {
+			continue
+		}
+		if f.Data != nil {
+			if f.Hash == "" {
+				f.Hash = hashBytes(f.Data)
+			}
+			cache.put(f.Hash, f.Data)
+			misses++
+			continue
+		}
+		data, ok := cache.get(f.Hash)
+		if !ok {
+			return hits, misses, fmt.Errorf("wq: input %s (hash %.12s…) not in cache", f.Name, f.Hash)
+		}
+		f.Data = data
+		hits++
+	}
+	return hits, misses, nil
+}

@@ -1,0 +1,138 @@
+// Package wq implements a Work Queue distributed execution system in the
+// style the paper uses: a master holds a queue of tasks, workers connect
+// over TCP and pull work, each worker drives several cores from one process
+// with one shared cache, and foremen can be interposed between master and
+// workers to form a hierarchy of arbitrary width and depth.
+//
+// Tasks name an executor function from a Registry shared by master and
+// workers (the Go analogue of shipping a command line), carry input files
+// inline — cacheable inputs such as the task sandbox are transferred once
+// per connection and shared thereafter — and declare the outputs to return.
+//
+// Non-dedicated behaviour is first-class: a worker may vanish at any moment
+// (eviction); the master detects the lost connection and requeues the tasks
+// the worker held.
+package wq
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// FileSpec is one file moved with a task: an input into the sandbox or an
+// output returned to the master.
+type FileSpec struct {
+	// Name is the file's path within the task sandbox.
+	Name string `json:"name"`
+	// Data is the content. For cacheable inputs it may be omitted on the
+	// wire when the receiver is known to hold Hash already.
+	Data []byte `json:"data,omitempty"`
+	// Hash is the content hash, filled by the transport for cacheable files.
+	Hash string `json:"hash,omitempty"`
+	// Cacheable marks immutable inputs (software sandbox, configuration)
+	// that workers keep across tasks, the paper's per-worker cache.
+	Cacheable bool `json:"cacheable,omitempty"`
+}
+
+// hashBytes returns the content hash used for the transfer cache.
+func hashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Task is one unit of work dispatched to a single worker slot.
+type Task struct {
+	// ID is assigned by the master at submission.
+	ID int64 `json:"id"`
+	// Func names the executor in the Registry.
+	Func string `json:"func"`
+	// Args are free-form parameters for the executor.
+	Args map[string]string `json:"args,omitempty"`
+	// Inputs are staged into the sandbox before execution.
+	Inputs []FileSpec `json:"inputs,omitempty"`
+	// Outputs are the sandbox paths collected after execution.
+	Outputs []string `json:"outputs,omitempty"`
+	// Tag is an opaque caller label (Lobster uses it for workflow/task kind).
+	Tag string `json:"tag,omitempty"`
+	// MaxRetries bounds automatic requeue after worker loss (default 5).
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// TaskTimes records the lifecycle timestamps the monitoring system consumes.
+type TaskTimes struct {
+	Submitted  time.Time `json:"submitted"`
+	Dispatched time.Time `json:"dispatched"`
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+	Returned   time.Time `json:"returned"`
+}
+
+// TaskStats is measured on the worker and augmented by the master.
+type TaskStats struct {
+	Times TaskTimes `json:"times"`
+	// StageIn is sandbox preparation time on the worker.
+	StageIn time.Duration `json:"stage_in"`
+	// Exec is executor wall time.
+	Exec time.Duration `json:"exec"`
+	// StageOut is output collection time on the worker.
+	StageOut time.Duration `json:"stage_out"`
+	// CacheHits / CacheMisses count cacheable-input resolutions.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// BytesIn / BytesOut are payload volumes for this task.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+}
+
+// Result is the completed (or failed) outcome of a task.
+type Result struct {
+	TaskID   int64      `json:"task_id"`
+	Tag      string     `json:"tag,omitempty"`
+	Worker   string     `json:"worker"`
+	ExitCode int        `json:"exit_code"`
+	Error    string     `json:"error,omitempty"`
+	Outputs  []FileSpec `json:"outputs,omitempty"`
+	Stats    TaskStats  `json:"stats"`
+	// Requeues counts how many times the task was re-dispatched after
+	// worker loss before this result.
+	Requeues int `json:"requeues"`
+}
+
+// Failed reports whether the task did not complete successfully.
+func (r *Result) Failed() bool { return r.ExitCode != 0 || r.Error != "" }
+
+// ExecContext is handed to an executor on the worker.
+type ExecContext struct {
+	// Task is the task being executed (do not mutate).
+	Task *Task
+	// Sandbox is the task's scratch directory; inputs are staged here and
+	// outputs are collected from here.
+	Sandbox string
+	// WorkerName identifies the executing worker.
+	WorkerName string
+}
+
+// Executor is the function a task runs on a worker. A non-nil error marks
+// the task failed with exit code 1 unless the error is an *ExitError.
+type Executor func(ctx *ExecContext) error
+
+// ExitError lets executors fail with a specific exit code, which Lobster's
+// wrapper uses to encode which segment failed.
+type ExitError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ExitError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("exit code %d", e.Code)
+	}
+	return fmt.Sprintf("exit code %d: %s", e.Code, e.Msg)
+}
+
+// Registry maps executor names to functions. Master and workers must agree
+// on its contents (they normally share it).
+type Registry map[string]Executor

@@ -1,0 +1,221 @@
+package wq
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker connects to a master (or foreman), advertises a number of cores,
+// and executes the tasks it is sent. All slots share one content cache, the
+// Work Queue behaviour the paper relies on: "a single worker can ... run
+// multiple tasks simultaneously, sharing a single cache directory, and a
+// single connection to the master."
+type Worker struct {
+	name  string
+	cores int
+	reg   Registry
+	dir   string
+	cache *contentCache
+	conn  *conn
+
+	slots   chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	evicted atomic.Bool
+
+	tasksRun    atomic.Int64
+	tasksFailed atomic.Int64
+}
+
+// NewWorker connects a worker to the master at addr. dir is the worker's
+// scratch directory (sandboxes and cache live beneath it). The registry maps
+// the executor names tasks will reference.
+func NewWorker(addr, name string, cores int, dir string, reg Registry) (*Worker, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("wq: worker needs at least one core")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wq: worker dir: %w", err)
+	}
+	raw, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wq: worker dialing %s: %w", addr, err)
+	}
+	w := &Worker{
+		name:  name,
+		cores: cores,
+		reg:   reg,
+		dir:   dir,
+		cache: newContentCache(),
+		conn:  newConn(raw),
+		slots: make(chan struct{}, cores),
+	}
+	if err := w.conn.send(&message{Type: "hello", Name: name, Cores: cores}); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w, nil
+}
+
+// Name returns the worker's name.
+func (w *Worker) Name() string { return w.name }
+
+// TasksRun returns the number of tasks executed (including failures).
+func (w *Worker) TasksRun() int64 { return w.tasksRun.Load() }
+
+// TasksFailed returns the number of tasks that failed locally.
+func (w *Worker) TasksFailed() int64 { return w.tasksFailed.Load() }
+
+// CachedObjects returns the number of cacheable inputs held.
+func (w *Worker) CachedObjects() int { return w.cache.len() }
+
+// Close disconnects gracefully after in-flight tasks finish sending.
+func (w *Worker) Close() error {
+	if w.closed.Swap(true) {
+		return nil
+	}
+	err := w.conn.close()
+	w.wg.Wait()
+	return err
+}
+
+// Evict abruptly severs the connection, abandoning running tasks — the
+// behaviour of a batch-system preemption. The master will requeue.
+func (w *Worker) Evict() {
+	w.evicted.Store(true)
+	w.Close()
+}
+
+// run reads tasks until the connection dies.
+func (w *Worker) run() {
+	defer w.wg.Done()
+	var taskWG sync.WaitGroup
+	defer taskWG.Wait()
+	for {
+		msg, err := w.conn.recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case "task":
+			if msg.Task == nil {
+				continue
+			}
+			t := msg.Task
+			// Resolve cacheable inputs synchronously, in arrival order: the
+			// master sends each cacheable payload once per connection, so a
+			// later hash-only reference must decode after the data-bearing
+			// task has populated the cache.
+			hits, misses, decodeErr := decodeInputs(t, w.cache)
+			taskWG.Add(1)
+			w.slots <- struct{}{}
+			go func() {
+				defer taskWG.Done()
+				defer func() { <-w.slots }()
+				res := w.execute(t, hits, misses, decodeErr)
+				if w.evicted.Load() {
+					return // evicted mid-task: never report
+				}
+				w.conn.send(&message{Type: "result", Result: res})
+			}()
+		case "ping":
+			w.conn.send(&message{Type: "ping"})
+		}
+	}
+}
+
+// execute stages inputs, runs the executor, and collects outputs. Cache
+// resolution already happened in the receive loop; its outcome is passed in.
+func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *Result {
+	res := &Result{TaskID: t.ID, Tag: t.Tag, Worker: w.name}
+	res.Stats.Times.Started = time.Now()
+	defer func() {
+		res.Stats.Times.Finished = time.Now()
+		w.tasksRun.Add(1)
+		if res.Failed() {
+			w.tasksFailed.Add(1)
+		}
+	}()
+
+	fail := func(code int, format string, args ...any) *Result {
+		res.ExitCode = code
+		res.Error = fmt.Sprintf(format, args...)
+		return res
+	}
+
+	// Stage in.
+	stageStart := time.Now()
+	res.Stats.CacheHits = cacheHits
+	res.Stats.CacheMisses = cacheMisses
+	if decodeErr != nil {
+		return fail(170, "stage-in: %v", decodeErr)
+	}
+	sandbox := filepath.Join(w.dir, fmt.Sprintf("task-%d", t.ID))
+	if err := os.MkdirAll(sandbox, 0o755); err != nil {
+		return fail(170, "stage-in: creating sandbox: %v", err)
+	}
+	defer os.RemoveAll(sandbox)
+	for _, f := range t.Inputs {
+		dst := filepath.Join(sandbox, filepath.FromSlash(f.Name))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return fail(170, "stage-in: %v", err)
+		}
+		if err := os.WriteFile(dst, f.Data, 0o644); err != nil {
+			return fail(170, "stage-in: %v", err)
+		}
+		res.Stats.BytesIn += int64(len(f.Data))
+	}
+	res.Stats.StageIn = time.Since(stageStart)
+
+	// Execute.
+	exec, ok := w.reg[t.Func]
+	if !ok {
+		return fail(127, "unknown executor %q", t.Func)
+	}
+	execStart := time.Now()
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("executor panicked: %v", p)
+			}
+		}()
+		return exec(&ExecContext{Task: t, Sandbox: sandbox, WorkerName: w.name})
+	}()
+	res.Stats.Exec = time.Since(execStart)
+	if err != nil {
+		// Best-effort output collection on failure: diagnostic outputs such
+		// as the wrapper report must reach the master even when the task
+		// fails ("a record of ... each segment is returned back").
+		for _, name := range t.Outputs {
+			data, rerr := os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
+			if rerr == nil {
+				res.Outputs = append(res.Outputs, FileSpec{Name: name, Data: data})
+				res.Stats.BytesOut += int64(len(data))
+			}
+		}
+		if ee, ok := err.(*ExitError); ok {
+			return fail(ee.Code, "%s", ee.Error())
+		}
+		return fail(1, "%v", err)
+	}
+
+	// Stage out.
+	outStart := time.Now()
+	for _, name := range t.Outputs {
+		data, err := os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
+		if err != nil {
+			return fail(171, "stage-out: declared output %s missing: %v", name, err)
+		}
+		res.Outputs = append(res.Outputs, FileSpec{Name: name, Data: data})
+		res.Stats.BytesOut += int64(len(data))
+	}
+	res.Stats.StageOut = time.Since(outStart)
+	return res
+}

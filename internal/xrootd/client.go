@@ -1,0 +1,176 @@
+package xrootd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client opens LFNs through a redirector, streaming content from whichever
+// replica answers and failing over between replicas on error. Consumer names
+// the accounting entity (site or user) for the Dashboard.
+type Client struct {
+	Redirector *Redirector
+	Dashboard  *Dashboard
+	Consumer   string
+	// DialTimeout bounds each connection attempt (default 10 s).
+	DialTimeout time.Duration
+}
+
+// File is an open remote file. Not safe for concurrent use.
+type File struct {
+	client *Client
+	lfn    string
+	size   int64
+	offset int64
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+}
+
+// Open resolves lfn and connects to a replica. Replicas are tried in the
+// order the redirector returns them.
+func (c *Client) Open(lfn string) (*File, error) {
+	reps, err := c.Redirector.Locate(lfn)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, rep := range reps {
+		f, err := c.openAt(lfn, rep)
+		if err == nil {
+			return f, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("xrootd: all %d replicas of %s failed: %w", len(reps), lfn, firstErr)
+}
+
+func (c *Client) openAt(lfn string, rep Replica) (*File, error) {
+	timeout := c.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", rep.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("xrootd: dialing %s: %w", rep.Addr, err)
+	}
+	f := &File{
+		client: c,
+		lfn:    lfn,
+		conn:   conn,
+		r:      bufio.NewReaderSize(conn, 64<<10),
+		w:      bufio.NewWriterSize(conn, 8<<10),
+	}
+	size, err := f.roundTripSize("open %s\n", lfn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f.size = size
+	return f, nil
+}
+
+// roundTripSize sends one command and parses a numeric first response line.
+func (f *File) roundTripSize(format string, args ...any) (int64, error) {
+	if _, err := fmt.Fprintf(f.w, format, args...); err != nil {
+		return 0, err
+	}
+	if err := f.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := f.r.ReadString('\n')
+	if err != nil {
+		return 0, fmt.Errorf("xrootd: reading response: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if strings.HasPrefix(line, "-1") {
+		return 0, fmt.Errorf("xrootd: server error: %s", strings.TrimSpace(strings.TrimPrefix(line, "-1")))
+	}
+	n, err := strconv.ParseInt(line, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xrootd: bad response %q", line)
+	}
+	return n, nil
+}
+
+// Size returns the file size.
+func (f *File) Size() int64 { return f.size }
+
+// LFN returns the file's logical name.
+func (f *File) LFN() string { return f.lfn }
+
+// Read implements io.Reader, streaming sequentially from the replica.
+func (f *File) Read(p []byte) (int, error) {
+	if f.offset >= f.size {
+		return 0, io.EOF
+	}
+	n, err := f.ReadAt(p, f.offset)
+	f.offset += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAt reads len(p) bytes at the given offset (shorter only at EOF).
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n, err := f.roundTripSize("read %s %d %d\n", f.lfn, off, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if n > int64(len(p)) {
+		return 0, fmt.Errorf("xrootd: server over-answered: %d > %d", n, len(p))
+	}
+	if _, err := io.ReadFull(f.r, p[:n]); err != nil {
+		return 0, fmt.Errorf("xrootd: short payload: %w", err)
+	}
+	f.client.Dashboard.Record(f.client.Consumer, n)
+	return int(n), nil
+}
+
+// Close releases the connection.
+func (f *File) Close() error {
+	fmt.Fprint(f.w, "quit\n")
+	f.w.Flush()
+	return f.conn.Close()
+}
+
+// Fetch streams the whole file into memory, the staging-style access.
+func (c *Client) Fetch(lfn string) ([]byte, error) {
+	f, err := c.Open(lfn)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	var read int64
+	const chunk = 256 << 10
+	for read < f.Size() {
+		n := int64(chunk)
+		if f.Size()-read < n {
+			n = f.Size() - read
+		}
+		m, err := f.ReadAt(buf[read:read+n], read)
+		if err != nil {
+			return nil, err
+		}
+		if m == 0 {
+			return nil, fmt.Errorf("xrootd: unexpected EOF at %d/%d of %s", read, f.Size(), lfn)
+		}
+		read += int64(m)
+	}
+	return buf, nil
+}

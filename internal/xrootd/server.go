@@ -1,0 +1,183 @@
+package xrootd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Protocol (one text line per request; binary payloads follow):
+//
+//	open <lfn>                 → "<size>\n" | "-1 <error>\n"
+//	read <lfn> <offset> <len>  → "<n>\n" + n bytes | "-1 <error>\n"
+//	quit                       → closes the connection
+//
+// read returns fewer than len bytes only at end of file.
+
+// DataServer serves file content by LFN over TCP for one site.
+type DataServer struct {
+	site string
+	lis  net.Listener
+
+	mu    sync.RWMutex
+	files map[string][]byte
+	down  bool // fault injection: refuse all requests
+
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	reads    atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewDataServer starts a data server for site on addr ("127.0.0.1:0").
+func NewDataServer(site, addr string) (*DataServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("xrootd: listening: %w", err)
+	}
+	s := &DataServer{site: site, lis: lis, files: make(map[string][]byte)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *DataServer) Addr() string { return s.lis.Addr().String() }
+
+// Site returns the site name.
+func (s *DataServer) Site() string { return s.site }
+
+// Store installs content for lfn and returns the replica descriptor to
+// register with a redirector.
+func (s *DataServer) Store(lfn string, content []byte) Replica {
+	s.mu.Lock()
+	s.files[lfn] = append([]byte(nil), content...)
+	s.mu.Unlock()
+	return Replica{Site: s.site, Addr: s.Addr()}
+}
+
+// SetDown toggles fault injection: while down, every request errors. This
+// models the transient WAN data-access outage in the paper's Figure 10.
+func (s *DataServer) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Reads returns the number of read requests served.
+func (s *DataServer) Reads() int64 { return s.reads.Load() }
+
+// BytesOut returns the number of payload bytes served.
+func (s *DataServer) BytesOut() int64 { return s.bytesOut.Load() }
+
+// Close shuts the server down.
+func (s *DataServer) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *DataServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *DataServer) serveConn(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 32<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "quit" {
+			w.Flush()
+			return
+		}
+		if err := s.dispatch(line, w); err != nil {
+			fmt.Fprintf(w, "-1 %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *DataServer) dispatch(line string, w *bufio.Writer) error {
+	s.mu.RLock()
+	down := s.down
+	s.mu.RUnlock()
+	if down {
+		return errors.New("server unavailable")
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return errors.New("empty command")
+	}
+	switch fields[0] {
+	case "open":
+		if len(fields) != 2 {
+			return errors.New("usage: open <lfn>")
+		}
+		s.mu.RLock()
+		content, ok := s.files[fields[1]]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("no such file %s", fields[1])
+		}
+		fmt.Fprintf(w, "%d\n", len(content))
+		return nil
+	case "read":
+		if len(fields) != 4 {
+			return errors.New("usage: read <lfn> <offset> <len>")
+		}
+		off, err1 := strconv.ParseInt(fields[2], 10, 64)
+		n, err2 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil || off < 0 || n < 0 {
+			return errors.New("bad offset or length")
+		}
+		s.mu.RLock()
+		content, ok := s.files[fields[1]]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("no such file %s", fields[1])
+		}
+		if off > int64(len(content)) {
+			off = int64(len(content))
+		}
+		end := off + n
+		if end > int64(len(content)) {
+			end = int64(len(content))
+		}
+		chunk := content[off:end]
+		fmt.Fprintf(w, "%d\n", len(chunk))
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		s.reads.Add(1)
+		s.bytesOut.Add(int64(len(chunk)))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
