@@ -1,0 +1,29 @@
+GO ?= go
+
+# Packages whose concurrency (kernel runner pool, parallel figure sweeps,
+# real-plane TCP) warrants a race-detector pass.
+RACE_PKGS = ./internal/simevent/... ./internal/sim/... ./internal/wq/...
+
+.PHONY: all check vet build test race bench bench-kernel
+
+all: check
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=Fig -benchmem .
+
+bench-kernel:
+	$(GO) test ./internal/simevent/ -run XXX -bench . -benchmem

@@ -423,28 +423,44 @@ func BenchmarkAblationChirpServers(b *testing.B) {
 		servers     int
 		maxStageOut float64
 	}
-	var points []point
+	grid := []int{1, 2, 4}
+	points := make([]point, len(grid))
 	for i := 0; i < b.N; i++ {
-		points = points[:0]
-		for _, servers := range []int{1, 2, 4} {
-			cfg := sim.SimRunConfig(0.05)
-			cfg.ChirpBandwidth *= float64(servers)
-			cfg.ChirpSlots *= servers
-			res, err := sim.RunBig(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			d, err := sim.Figure11(res, 1800)
-			if err != nil {
-				b.Fatal(err)
-			}
-			maxOut := 0.0
-			for _, s := range d.StageOut {
-				if s > maxOut {
-					maxOut = s
+		// Each grid point is an independent model run with its own Sim and
+		// Rand; run the sweep concurrently, placing results by index.
+		var wg sync.WaitGroup
+		errs := make([]error, len(grid))
+		for gi, servers := range grid {
+			wg.Add(1)
+			go func(gi, servers int) {
+				defer wg.Done()
+				cfg := sim.SimRunConfig(0.05)
+				cfg.ChirpBandwidth *= float64(servers)
+				cfg.ChirpSlots *= servers
+				res, err := sim.RunBig(cfg)
+				if err != nil {
+					errs[gi] = err
+					return
 				}
+				d, err := sim.Figure11(res, 1800)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				maxOut := 0.0
+				for _, s := range d.StageOut {
+					if s > maxOut {
+						maxOut = s
+					}
+				}
+				points[gi] = point{servers, maxOut}
+			}(gi, servers)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
 			}
-			points = append(points, point{servers, maxOut})
 		}
 	}
 	tb := tabulate.NewTable("Ablation: chirp servers vs worst stage-out time",
@@ -464,22 +480,38 @@ func BenchmarkAblationProxyCount(b *testing.B) {
 		peakMin float64
 		done    int
 	}
-	var points []point
+	grid := []int{1, 2, 4}
+	points := make([]point, len(grid))
 	for i := 0; i < b.N; i++ {
-		points = points[:0]
-		for _, n := range []int{1, 2, 4} {
-			cfg := sim.SimRunConfig(0.05)
-			cfg.ProxyBandwidth *= float64(n)
-			res, err := sim.RunBig(cfg)
+		// Independent model runs: sweep the grid concurrently (see the chirp
+		// ablation above for the pattern).
+		var wg sync.WaitGroup
+		errs := make([]error, len(grid))
+		for gi, n := range grid {
+			wg.Add(1)
+			go func(gi, n int) {
+				defer wg.Done()
+				cfg := sim.SimRunConfig(0.05)
+				cfg.ProxyBandwidth *= float64(n)
+				res, err := sim.RunBig(cfg)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				d, err := sim.Figure11(res, 1800)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				_, peak := d.PeakSetup()
+				points[gi] = point{n, peak / 60, res.TasksDone}
+			}(gi, n)
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
 				b.Fatal(err)
 			}
-			d, err := sim.Figure11(res, 1800)
-			if err != nil {
-				b.Fatal(err)
-			}
-			_, peak := d.PeakSetup()
-			points = append(points, point{n, peak / 60, res.TasksDone})
 		}
 	}
 	tb := tabulate.NewTable("Ablation: squid proxies vs cold-start setup peak",

@@ -7,6 +7,7 @@
 //	lobster-sim fig2
 //	lobster-sim fig3 -tasklets 100000 -workers 8000 -max-hours 10
 //	lobster-sim adaptive
+//	lobster-sim -cpuprofile cpu.pprof fig3   # profiling flags precede the subcommand
 package main
 
 import (
@@ -15,25 +16,39 @@ import (
 	"os"
 
 	"lobster/internal/cluster"
+	"lobster/internal/profiling"
 	"lobster/internal/sim"
 	"lobster/internal/stats"
 	"lobster/internal/tabulate"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
+	flag.Usage = usage
+	flag.Parse() // stops at the subcommand (first non-flag argument)
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 	}
-	var err error
-	switch os.Args[1] {
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lobster-sim:", err)
+		os.Exit(1)
+	}
+	switch args[0] {
 	case "fig2":
-		err = fig2(os.Args[2:])
+		err = fig2(args[1:])
 	case "fig3":
-		err = fig3(os.Args[2:])
+		err = fig3(args[1:])
 	case "adaptive":
-		err = adaptive(os.Args[2:])
+		err = adaptive(args[1:])
 	default:
+		stop()
 		usage()
+	}
+	if serr := stop(); serr != nil && err == nil {
+		err = serr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lobster-sim:", err)
@@ -42,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: lobster-sim <fig2|fig3|adaptive> [flags]
+	fmt.Fprintln(os.Stderr, `usage: lobster-sim [-cpuprofile f] [-memprofile f] [-trace f] <fig2|fig3|adaptive> [flags]
   fig2      worker eviction probability vs availability time
   fig3      efficiency vs task length under three eviction scenarios
   adaptive  static vs rate-adaptive task sizing under a regime shift`)

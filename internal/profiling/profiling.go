@@ -1,0 +1,86 @@
+// Package profiling wires the standard pprof and execution-trace outputs
+// into the CLIs, so kernel hot-path work can always be measured on the real
+// binaries rather than only through the micro-benchmarks.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three standard profiling destinations. Zero values mean
+// the corresponding output is disabled.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register adds -cpuprofile, -memprofile and -trace to fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file` at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write an execution trace to `file`")
+}
+
+// Start begins CPU profiling and execution tracing as requested and returns
+// a stop function that ends them and writes the heap profile. The stop
+// function must run before process exit (defer it in main); it reports the
+// first error encountered.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if f.MemProfile == "" {
+			return nil
+		}
+		mf, err := os.Create(f.MemProfile)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC() // materialise up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -258,17 +258,25 @@ func CompareAdaptive(cfg PhaseShiftConfig, staticSize int) ([]*AdaptiveResult, e
 	if staticSize < 1 {
 		staticSize = 18 // ~3 h tasks: optimal for the calm phase
 	}
-	var out []*AdaptiveResult
-	for _, sizer := range []Sizer{
-		&StaticSizer{Size: staticSize},
-		NewRateSizer(staticSize, 1, 120,
-			cfg.Base.TaskOverhead, cfg.Base.TaskletTime.Mean()),
-	} {
-		r, err := SimulateAdaptive(cfg, sizer)
+	// Sizers are stateful, so each parallel job constructs its own.
+	makeSizers := []func() Sizer{
+		func() Sizer { return &StaticSizer{Size: staticSize} },
+		func() Sizer {
+			return NewRateSizer(staticSize, 1, 120,
+				cfg.Base.TaskOverhead, cfg.Base.TaskletTime.Mean())
+		},
+	}
+	out := make([]*AdaptiveResult, len(makeSizers))
+	err := parallelFor(len(makeSizers), func(i int) error {
+		r, err := SimulateAdaptive(cfg, makeSizers[i]())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

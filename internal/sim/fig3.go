@@ -215,21 +215,28 @@ func Figure3(cfg TaskSizeConfig, observed stats.Dist, maxHours int) ([]Fig3Resul
 		NoEviction{},
 	}
 	taskletsPerHour := 3600 / cfg.TaskletTime.Mean()
-	var out []Fig3Result
-	for _, sc := range scenarios {
-		res := Fig3Result{Scenario: sc.Name()}
-		for h := 1; h <= maxHours; h++ {
-			k := int(math.Round(float64(h) * taskletsPerHour))
-			if k < 1 {
-				k = 1
-			}
-			p, err := SimulateTaskSize(cfg, sc, k)
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, p)
+	out := make([]Fig3Result, len(scenarios))
+	for i, sc := range scenarios {
+		out[i] = Fig3Result{Scenario: sc.Name(), Points: make([]EfficiencyPoint, maxHours)}
+	}
+	// Every (scenario, task length) point is an independent simulation with
+	// its own Rand, so the whole grid runs concurrently; index-addressed
+	// writes keep the output identical to the sequential sweep.
+	err := parallelFor(len(scenarios)*maxHours, func(j int) error {
+		si, h := j/maxHours, j%maxHours+1
+		k := int(math.Round(float64(h) * taskletsPerHour))
+		if k < 1 {
+			k = 1
 		}
-		out = append(out, res)
+		p, err := SimulateTaskSize(cfg, scenarios[si], k)
+		if err != nil {
+			return err
+		}
+		out[si].Points[h-1] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -112,13 +112,18 @@ func SimulateAccessMode(cfg AccessConfig, mode string) (*AccessResult, error) {
 // Figure4 runs both modes and returns staging first, streaming second, as
 // in the paper's figure.
 func Figure4(cfg AccessConfig) ([]*AccessResult, error) {
-	stage, err := SimulateAccessMode(cfg, "stage")
+	modes := []string{"stage", "stream"}
+	out := make([]*AccessResult, len(modes))
+	err := parallelFor(len(modes), func(i int) error {
+		r, err := SimulateAccessMode(cfg, modes[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	stream, err := SimulateAccessMode(cfg, "stream")
-	if err != nil {
-		return nil, err
-	}
-	return []*AccessResult{stage, stream}, nil
+	return out, nil
 }

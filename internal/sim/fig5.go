@@ -101,18 +101,27 @@ func Figure5(cfg ProxyConfig, taskCounts []int) (*Fig5Result, error) {
 	if len(taskCounts) == 0 {
 		taskCounts = []int{50, 100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 2000}
 	}
-	res := &Fig5Result{}
-	for _, n := range taskCounts {
-		p, err := SimulateProxyLoad(cfg, n, true)
+	res := &Fig5Result{
+		Cold: make([]ProxyPoint, len(taskCounts)),
+		Hot:  make([]ProxyPoint, len(taskCounts)),
+	}
+	// Each (count, cold/hot) wave is an independent Sim; run the grid
+	// concurrently with index-addressed result slots.
+	err := parallelFor(len(taskCounts)*2, func(j int) error {
+		i, cold := j/2, j%2 == 0
+		p, err := SimulateProxyLoad(cfg, taskCounts[i], cold)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Cold = append(res.Cold, p)
-		p, err = SimulateProxyLoad(cfg, n, false)
-		if err != nil {
-			return nil, err
+		if cold {
+			res.Cold[i] = p
+		} else {
+			res.Hot[i] = p
 		}
-		res.Hot = append(res.Hot, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

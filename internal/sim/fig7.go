@@ -191,15 +191,20 @@ func startHadoopMerge(s *simevent.Sim, cfg MergeSimConfig, tl *MergeTimeline, un
 	}
 }
 
-// Figure7 runs all three modes and returns them in paper order.
+// Figure7 runs all three modes concurrently and returns them in paper order.
 func Figure7(cfg MergeSimConfig) ([]*MergeTimeline, error) {
-	var out []*MergeTimeline
-	for _, mode := range []string{"sequential", "hadoop", "interleaved"} {
-		tl, err := SimulateMerging(cfg, mode)
+	modes := []string{"sequential", "hadoop", "interleaved"}
+	out := make([]*MergeTimeline, len(modes))
+	err := parallelFor(len(modes), func(i int) error {
+		tl, err := SimulateMerging(cfg, modes[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, tl)
+		out[i] = tl
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

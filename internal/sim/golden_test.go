@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// These goldens were recorded on the pre-optimisation simevent kernel
+// (binary heap, eager heap.Remove cancellation, one allocation per event,
+// one fresh goroutine per proc). Every value is compared exactly — the
+// rebuilt hot path must reproduce bit-identical figure inputs, not merely
+// statistically similar ones, because the paper reproduction's claims are
+// seeded and the seed is part of the published configuration.
+
+func TestGoldenBigRunSimulation(t *testing.T) {
+	res, err := RunBig(SimRunConfig(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone != 1860 || res.TasksFailed != 383 || res.Evictions != 41 ||
+		res.WANBytes != 0 || res.ChirpBytes != 107303801934.7655 || res.PeakCores != 1000 {
+		t.Errorf("simulation run diverged from pre-optimisation kernel: done=%d failed=%d evict=%d wan=%.17g chirp=%.17g peak=%d",
+			res.TasksDone, res.TasksFailed, res.Evictions, res.WANBytes, res.ChirpBytes, res.PeakCores)
+	}
+}
+
+func TestGoldenBigRunDataProcessing(t *testing.T) {
+	cfg := DataRunConfig(0.02)
+	cfg.Duration = 6 * 3600
+	res, err := RunBig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksDone != 690 || res.TasksFailed != 76 || res.Evictions != 9 ||
+		res.WANBytes != 400121170629.95374 || res.ChirpBytes != 31049999999.990078 ||
+		res.PeakCores != 200 {
+		t.Errorf("data run diverged from pre-optimisation kernel: done=%d failed=%d evict=%d wan=%.17g chirp=%.17g peak=%d",
+			res.TasksDone, res.TasksFailed, res.Evictions, res.WANBytes, res.ChirpBytes, res.PeakCores)
+	}
+}
+
+func TestGoldenComponentFigures(t *testing.T) {
+	p, err := SimulateProxyLoad(DefaultProxyConfig(), 200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanOverhead != 130 {
+		t.Errorf("fig5 overhead = %.17g, want 130", p.MeanOverhead)
+	}
+
+	scfg := DefaultTaskSizeConfig()
+	scfg.Tasklets = 10000
+	scfg.Workers = 800
+	ep, err := SimulateTaskSize(scfg, ConstantEviction{RatePerHour: 0.1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Efficiency != 0.67254412958386811 || ep.Evictions != 262 {
+		t.Errorf("fig3 point = %.17g/%d, want 0.67254412958386811/262", ep.Efficiency, ep.Evictions)
+	}
+
+	mcfg := DefaultMergeSimConfig()
+	mcfg.AnalysisTasks = 300
+	mcfg.Workers = 150
+	tl, err := SimulateMerging(mcfg, "interleaved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.LastMerge != 10041.061411633409 || tl.LastAnalysis != 9914.6614116334113 ||
+		tl.MergedFiles != 5 || tl.WorkerSecondsUsed != 1640592.9661980239 {
+		t.Errorf("fig7 timeline diverged: lastMerge=%.17g lastAnalysis=%.17g merged=%d workerSec=%.17g",
+			tl.LastMerge, tl.LastAnalysis, tl.MergedFiles, tl.WorkerSecondsUsed)
+	}
+
+	acc, err := SimulateAccessMode(DefaultAccessConfig(), "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MeanRuntime != 428 || acc.Makespan != 1712 {
+		t.Errorf("fig4 stream = %.17g/%.17g, want 428/1712", acc.MeanRuntime, acc.Makespan)
+	}
+}

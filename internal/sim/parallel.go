@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0..n-1) across up to GOMAXPROCS worker goroutines and
+// waits for all of them. Each figure point builds its own Sim and Rand, so
+// points are independent; callers preserve determinism by writing results
+// into index-addressed slots rather than appending in completion order. When
+// several jobs fail, the error from the lowest index is returned, so the
+// reported failure is also independent of scheduling.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = n
+		err    error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if e := fn(i); e != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, err = i, e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}

@@ -22,10 +22,11 @@ type Link struct {
 	sim      *Sim
 	capacity float64 // bytes per simulated second
 
-	served float64 // cumulative per-stream service since link creation
-	h      transferHeap
-	last   float64 // time of last progress update
-	next   *Event  // next completion event
+	served     float64 // cumulative per-stream service since link creation
+	h          transferHeap
+	last       float64 // time of last progress update
+	next       Event   // next completion event; zero handle when none
+	completeFn func()  // bound l.complete, allocated once
 	// Accounting.
 	bytesMoved float64
 	busyTime   float64 // integral of (active>0) dt
@@ -67,7 +68,9 @@ func NewLink(s *Sim, bytesPerSec float64) *Link {
 	if bytesPerSec <= 0 {
 		panic(fmt.Sprintf("simevent: link capacity %g", bytesPerSec))
 	}
-	return &Link{sim: s, capacity: bytesPerSec, last: s.Now()}
+	l := &Link{sim: s, capacity: bytesPerSec, last: s.Now()}
+	l.completeFn = l.complete
+	return l
 }
 
 // Capacity returns the configured capacity in bytes/second.
@@ -126,10 +129,8 @@ func (l *Link) progress() {
 
 // reschedule cancels any pending completion event and schedules the next.
 func (l *Link) reschedule() {
-	if l.next != nil {
-		l.sim.Cancel(l.next)
-		l.next = nil
-	}
+	l.sim.Cancel(l.next)
+	l.next = Event{}
 	if l.h.Len() == 0 {
 		return
 	}
@@ -137,21 +138,20 @@ func (l *Link) reschedule() {
 	if delay < 0 {
 		delay = 0
 	}
-	l.next = l.sim.Schedule(delay, l.complete)
+	l.next = l.sim.Schedule(delay, l.completeFn)
 }
 
 // complete finishes every transfer whose service target has been reached.
 // The minimum-target transfer is done by construction when this event fires;
 // floating-point residue must not keep it alive.
 func (l *Link) complete() {
-	l.next = nil
+	l.next = Event{}
 	l.progress()
 	eps := math.Max(1e-6, math.Abs(l.served)*1e-12)
 	first := true
 	for l.h.Len() > 0 && (l.h[0].target <= l.served+eps || first) {
 		tr := heap.Pop(&l.h).(*transfer)
-		p := tr.proc
-		l.sim.Schedule(0, func() { p.wakeup() })
+		l.sim.schedule(0, evWake, tr.proc)
 		first = false
 	}
 	l.reschedule()

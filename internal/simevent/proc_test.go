@@ -152,6 +152,43 @@ func TestSignalInterruptedWaiterRemoved(t *testing.T) {
 	}
 }
 
+func TestSignalInterruptMiddleWaiterKeepsFIFO(t *testing.T) {
+	s := New()
+	sig := NewSignal(s)
+	const n = 5
+	const victimIdx = 2
+	procs := make([]*Proc, n)
+	var wakeOrder []int
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = s.Go(func(p *Proc) {
+			p.Wait(float64(i)) // register in index order
+			if sig.Await(p) {
+				wakeOrder = append(wakeOrder, i)
+			}
+		})
+	}
+	s.Go(func(p *Proc) {
+		p.Wait(10)
+		procs[victimIdx].Interrupt()
+		p.Wait(1)
+		if sig.Waiters() != n-1 {
+			t.Errorf("waiters = %d, want %d", sig.Waiters(), n-1)
+		}
+		sig.Broadcast()
+	})
+	s.Run()
+	want := []int{0, 1, 3, 4}
+	if len(wakeOrder) != len(want) {
+		t.Fatalf("wake order %v, want %v", wakeOrder, want)
+	}
+	for i := range want {
+		if wakeOrder[i] != want[i] {
+			t.Fatalf("wake order %v, want %v (FIFO with victim removed)", wakeOrder, want)
+		}
+	}
+}
+
 func TestProcDeterminism(t *testing.T) {
 	run := func() []float64 {
 		s := New()

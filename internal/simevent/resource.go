@@ -81,7 +81,7 @@ func (r *Resource) Release() {
 		// Hand the unit directly to the head waiter: inUse stays constant.
 		head := r.queue[0]
 		r.queue = r.queue[1:]
-		r.sim.Schedule(0, func() { head.wakeup() })
+		r.sim.schedule(0, evWake, head)
 		return
 	}
 	r.inUse--
@@ -118,6 +118,6 @@ func (r *Resource) SetCapacity(capacity int) {
 		head := r.queue[0]
 		r.queue = r.queue[1:]
 		r.inUse++
-		r.sim.Schedule(0, func() { head.wakeup() })
+		r.sim.schedule(0, evWake, head)
 	}
 }

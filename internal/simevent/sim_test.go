@@ -71,7 +71,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var order []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.Schedule(float64(i), func() { order = append(order, i) }))
@@ -86,6 +86,33 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 		if v == 7 || v == 13 {
 			t.Fatalf("cancelled event %d fired", v)
 		}
+	}
+}
+
+func TestPendingCountsOnlyLiveEvents(t *testing.T) {
+	s := New()
+	fn := func() {}
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, s.Schedule(float64(i+1), fn))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Cancel(events[3])
+	s.Cancel(events[8])
+	s.Cancel(events[8]) // double cancel must not double-count
+	if s.Pending() != 8 {
+		t.Fatalf("Pending after 2 cancels = %d, want 8", s.Pending())
+	}
+	s.RunUntil(5)
+	// Events at t=1,2,3,5 fired (t=4 was cancelled): 4 live ones remain.
+	if s.Pending() != 4 {
+		t.Fatalf("Pending after RunUntil(5) = %d, want 4", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", s.Pending())
 	}
 }
 
