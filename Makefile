@@ -1,8 +1,8 @@
 GO ?= go
 
-# Packages whose concurrency (kernel runner pool, parallel figure sweeps,
-# real-plane TCP) warrants a race-detector pass.
-RACE_PKGS = ./internal/simevent/... ./internal/sim/... ./internal/wq/...
+# The telemetry layer threads atomics through every concurrent component, so
+# the whole module runs under the race detector, not just the hot packages.
+RACE_PKGS = ./...
 
 .PHONY: all check vet build test race bench bench-kernel
 

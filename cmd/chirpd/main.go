@@ -4,21 +4,26 @@
 // Usage:
 //
 //	chirpd -addr 127.0.0.1:9094 -root /data/storage -max-concurrent 16
+//	chirpd -metrics 127.0.0.1:9095 ...   # serve /metrics and /status too
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"lobster/internal/chirp"
+	"lobster/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9094", "listen address")
 	root := flag.String("root", "./chirp-export", "directory to export")
 	maxConc := flag.Int("max-concurrent", 16, "concurrently served connections")
+	metrics := flag.String("metrics", "", "serve telemetry (GET /metrics, /status) on this address")
 	flag.Parse()
 
 	fs, err := chirp.NewLocalFS(*root)
@@ -30,6 +35,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chirpd:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		srv.Instrument(reg)
+		lis, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chirpd: metrics listener:", err)
+			os.Exit(1)
+		}
+		go http.Serve(lis, reg.Mux())
+		fmt.Printf("chirpd: telemetry on http://%s/metrics and /status\n", lis.Addr())
 	}
 	fmt.Printf("chirpd: exporting %s on %s (max %d concurrent)\n", fs.Root(), srv.Addr(), *maxConc)
 

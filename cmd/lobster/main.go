@@ -9,11 +9,15 @@
 //
 //	lobster -kind analysis -files 8 -workers 4 -merge interleaved
 //	lobster -kind simulation -events 2000
+//	lobster -http 127.0.0.1:9099 ...        # serve /metrics and /status
+//	lobster -top http://127.0.0.1:9099      # one-shot status of a live run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +26,7 @@ import (
 	"lobster/internal/monitor"
 	"lobster/internal/store"
 	"lobster/internal/tabulate"
+	"lobster/internal/telemetry"
 )
 
 func main() {
@@ -39,17 +44,28 @@ func main() {
 		dbdir    = flag.String("db", "", "Lobster DB directory (enables crash recovery)")
 		seed     = flag.Uint64("seed", 1, "synthetic content seed")
 		confPath = flag.String("config", "", "JSON workflow configuration file (overrides the workflow flags)")
+		httpAddr = flag.String("http", "", "serve live telemetry (GET /metrics, /status) on this address")
+		evlog    = flag.String("event-log", "", "append structured JSONL task events to this file")
+		topURL   = flag.String("top", "", "print a one-shot status of the lobster at this base URL and exit")
 	)
 	flag.Parse()
+	if *topURL != "" {
+		if err := top(*topURL); err != nil {
+			fmt.Fprintln(os.Stderr, "lobster:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*kind, *files, *lumis, *events, *workers, *cores, *taskSize,
-		*access, *merge, *mergeMB, *dbdir, *seed, *confPath); err != nil {
+		*access, *merge, *mergeMB, *dbdir, *seed, *confPath, *httpAddr, *evlog); err != nil {
 		fmt.Fprintln(os.Stderr, "lobster:", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind string, files, lumis, events, workers, cores, taskSize int,
-	access, merge string, mergeKB float64, dbdir string, seed uint64, confPath string) error {
+	access, merge string, mergeKB float64, dbdir string, seed uint64,
+	confPath, httpAddr, evlogPath string) error {
 	var cfg core.Config
 	if confPath != "" {
 		var err error
@@ -65,12 +81,34 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 		merge = string(cfg.MergeMode)
 	}
 
+	reg := telemetry.NewRegistry()
+	var evl *telemetry.EventLog
+	if evlogPath != "" {
+		var err error
+		evl, err = telemetry.OpenEventLog(evlogPath, reg.Now)
+		if err != nil {
+			return err
+		}
+		defer evl.Close()
+	}
+	if httpAddr != "" {
+		lis, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer lis.Close()
+		go http.Serve(lis, reg.Mux())
+		fmt.Printf("telemetry on http://%s/metrics and /status\n", lis.Addr())
+	}
+
 	fmt.Println("starting services (cvmfs, squid, frontier, xrootd, chirp, wq)...")
 	st, err := deploy.Start(deploy.Options{
 		Files: files, LumisPerFile: lumis, EventsPerFile: events,
 		Workers: workers, CoresPerWorker: cores,
-		UseHDFS: merge == "hadoop",
-		Seed:    seed,
+		UseHDFS:   merge == "hadoop",
+		Seed:      seed,
+		Telemetry: reg,
+		EventLog:  evl,
 	})
 	if err != nil {
 		return err

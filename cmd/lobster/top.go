@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"lobster/internal/tabulate"
+	"lobster/internal/telemetry"
+)
+
+// top fetches /status from a live lobster (started with -http) and prints a
+// one-shot view of every telemetry series, htop-style: gauges and counters
+// with their current value, histograms with count and mean.
+func top(baseURL string) error {
+	url := strings.TrimRight(baseURL, "/") + "/status"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var st telemetry.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+
+	fmt.Printf("lobster status at t=%.1fs (%d series)\n", st.Time, len(st.Series))
+	tb := tabulate.NewTable("Telemetry", "series", "type", "value")
+	for _, p := range st.Series {
+		name := p.Name
+		if len(p.Labels) > 0 {
+			keys := make([]string, 0, len(p.Labels))
+			for k := range p.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + p.Labels[k]
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		var val string
+		if p.Type == "histogram" {
+			val = fmt.Sprintf("n=%d mean=%.4g", p.Count, p.Mean)
+		} else {
+			val = fmt.Sprintf("%g", p.Value)
+		}
+		tb.Row(name, p.Type, val)
+	}
+	fmt.Println(tb.Render())
+	return nil
+}

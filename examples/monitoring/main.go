@@ -5,7 +5,8 @@
 // how the per-segment wrapper records surface the problem — failure codes
 // attribute the failures to stage-in, the failed-time fraction jumps — and
 // how the Lobster DB lets a crashed scheduler resume without re-running
-// completed work.
+// completed work. Finally it replays the structured JSONL event log into a
+// fresh monitor, rebuilding the task-record database a crash would lose.
 //
 //	go run ./examples/monitoring
 package main
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"lobster/internal/core"
@@ -22,15 +24,32 @@ import (
 	"lobster/internal/monitor"
 	"lobster/internal/store"
 	"lobster/internal/tabulate"
+	"lobster/internal/telemetry"
 )
 
 func main() {
+	// Every task record is also appended to a JSONL event log; §3 below
+	// replays it to rebuild the monitor DB after a simulated crash.
+	logDir, err := os.MkdirTemp("", "lobster-events-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(logDir)
+	logPath := filepath.Join(logDir, "events.jsonl")
+	reg := telemetry.NewRegistry()
+	evl, err := telemetry.OpenEventLog(logPath, reg.Now)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	stack, err := deploy.Start(deploy.Options{
 		Files:          6,
 		LumisPerFile:   2,
 		EventsPerFile:  24,
 		Workers:        2,
 		CoresPerWorker: 2,
+		Telemetry:      reg,
+		EventLog:       evl,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -123,5 +142,35 @@ func main() {
 		rep2.TaskletsDone, rep2.TaskletsTotal, rep2.TaskletsFailed)
 	if !rep2.Succeeded() {
 		log.Fatal("workflow did not complete after recovery")
+	}
+
+	// --- Run 3: the monitor DB itself is lost; replay the event log. ---
+	// The Lobster DB recovers workflow *state* (what still needs running);
+	// the event log recovers the monitor's *history* (every task record),
+	// so breakdowns and diagnoses survive a scheduler crash too.
+	fmt.Println("\n== run 3: monitor DB lost, rebuilt from the event log ==")
+	if err := evl.Close(); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rebuilt := monitor.New()
+	n, err := rebuilt.ReplayLog(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	live := len(stack.Services.Monitor.Records())
+	fmt.Printf("replayed %d task events from %s (live monitor holds %d)\n",
+		n, filepath.Base(logPath), live)
+	rb := tabulate.NewTable("Breakdown rebuilt from the log", "Task Phase", "Fraction (%)")
+	for _, row := range rebuilt.Breakdown() {
+		rb.Row(row.Phase, fmt.Sprintf("%.1f", row.Fraction*100))
+	}
+	fmt.Println(rb.Render())
+	if n != live {
+		log.Fatalf("replay mismatch: %d events vs %d live records", n, live)
 	}
 }

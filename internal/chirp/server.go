@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lobster/internal/telemetry"
 )
 
 // Protocol: each request is one text line; commands carrying data follow the
@@ -30,6 +32,7 @@ import (
 type ServerStats struct {
 	Connections  int64
 	ActiveConns  int64
+	QueuedConns  int64 // accepted but still waiting for a service slot
 	Requests     int64
 	Errors       int64
 	BytesIn      int64
@@ -50,10 +53,52 @@ type Server struct {
 	wg      sync.WaitGroup
 	conns   atomic.Int64
 	active  atomic.Int64
+	queued  atomic.Int64
 	reqs    atomic.Int64
 	errs    atomic.Int64
 	in, out atomic.Int64
 	qwait   atomic.Int64 // nanoseconds
+
+	tel serverTelemetry
+}
+
+// serverTelemetry holds the server's instruments; the zero value is free.
+type serverTelemetry struct {
+	conns     *telemetry.Counter
+	reqs      *telemetry.Counter
+	errs      *telemetry.Counter
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	queueWait *telemetry.Histogram
+}
+
+// Instrument registers the server's metric series on reg. A nil registry
+// leaves the server uninstrumented at zero cost.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.tel = serverTelemetry{
+		conns: reg.Counter("lobster_chirp_connections_total",
+			"Connections accepted by the chirp server."),
+		reqs: reg.Counter("lobster_chirp_requests_total",
+			"Protocol requests dispatched."),
+		errs: reg.Counter("lobster_chirp_errors_total",
+			"Protocol requests that returned an error."),
+		bytesIn: reg.Counter("lobster_chirp_bytes_in_total",
+			"Payload bytes received (putfile/append)."),
+		bytesOut: reg.Counter("lobster_chirp_bytes_out_total",
+			"Payload bytes sent (getfile)."),
+		queueWait: reg.Histogram("lobster_chirp_queue_wait_seconds",
+			"Time connections waited for one of the bounded service slots.", nil),
+	}
+	reg.GaugeFunc("lobster_chirp_active_connections",
+		"Connections holding a service slot right now.",
+		func() float64 { return float64(s.active.Load()) })
+	reg.GaugeFunc("lobster_chirp_queued_connections",
+		"Connections accepted but still waiting for a service slot — the "+
+			"overload signal of the paper's throttled Chirp server.",
+		func() float64 { return float64(s.queued.Load()) })
 }
 
 // MaxPayload bounds a single transfer to keep a malicious or buggy client
@@ -85,6 +130,7 @@ func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		Connections:  s.conns.Load(),
 		ActiveConns:  s.active.Load(),
+		QueuedConns:  s.queued.Load(),
 		Requests:     s.reqs.Load(),
 		Errors:       s.errs.Load(),
 		BytesIn:      s.in.Load(),
@@ -115,6 +161,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.conns.Add(1)
+		s.tel.conns.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -122,8 +169,12 @@ func (s *Server) acceptLoop() {
 			// Queue for a service slot: this is the connection cap that
 			// produces batched stage-out behaviour under bursts.
 			start := time.Now()
+			s.queued.Add(1)
 			s.slots <- struct{}{}
-			s.qwait.Add(int64(time.Since(start)))
+			s.queued.Add(-1)
+			wait := time.Since(start)
+			s.qwait.Add(int64(wait))
+			s.tel.queueWait.Observe(wait.Seconds())
 			s.active.Add(1)
 			defer func() {
 				s.active.Add(-1)
@@ -148,8 +199,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.reqs.Add(1)
+		s.tel.reqs.Inc()
 		if err := s.dispatch(line, r, w); err != nil {
 			s.errs.Add(1)
+			s.tel.errs.Inc()
 			fmt.Fprintf(w, "-1 %s\n", sanitizeError(err))
 		}
 		if err := w.Flush(); err != nil {
@@ -182,6 +235,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 			return err
 		}
 		s.out.Add(int64(len(data)))
+		s.tel.bytesOut.Add(int64(len(data)))
 		return nil
 	case "putfile", "append":
 		if len(fields) != 3 {
@@ -196,6 +250,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 			return fmt.Errorf("short payload: %w", err)
 		}
 		s.in.Add(size)
+		s.tel.bytesIn.Add(size)
 		if fields[0] == "putfile" {
 			err = s.fs.WriteFile(fields[1], data)
 		} else {

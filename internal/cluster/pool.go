@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lobster/internal/stats"
+	"lobster/internal/telemetry"
 	"lobster/internal/wq"
 )
 
@@ -44,6 +45,24 @@ type Pool struct {
 	stopping bool
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+
+	telLaunched *telemetry.Counter
+	telEvicted  *telemetry.Counter
+}
+
+// Instrument registers the pool's metric series on reg. A nil registry
+// leaves the pool uninstrumented at zero cost.
+func (p *Pool) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.telLaunched = reg.Counter("lobster_cluster_pilots_launched_total",
+		"Pilot workers ever launched by the pool (including replacements).")
+	p.telEvicted = reg.Counter("lobster_cluster_evictions_total",
+		"Pilot workers evicted by the batch-system stand-in.")
+	reg.GaugeFunc("lobster_cluster_pilots_up",
+		"Pilot workers currently connected.",
+		func() float64 { return float64(p.Alive()) })
 }
 
 // NewPool starts the pool. Workers connect immediately.
@@ -94,6 +113,7 @@ func (p *Pool) launch() error {
 	}
 	p.workers[id] = w
 	p.mu.Unlock()
+	p.telLaunched.Inc()
 
 	if p.cfg.Lifetime != nil {
 		p.wg.Add(1)
@@ -116,6 +136,7 @@ func (p *Pool) launch() error {
 			p.evicted++
 			replace := p.cfg.Replace && !p.stopping
 			p.mu.Unlock()
+			p.telEvicted.Inc()
 			w.Evict()
 			if replace {
 				p.launch()

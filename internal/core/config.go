@@ -23,6 +23,7 @@ import (
 	"lobster/internal/hdfs"
 	"lobster/internal/monitor"
 	"lobster/internal/store"
+	"lobster/internal/telemetry"
 	"lobster/internal/wq"
 )
 
@@ -201,6 +202,12 @@ type Services struct {
 	// Epoch is the run origin for monitoring timestamps; zero means "first
 	// use of the Lobster instance".
 	Epoch time.Time
+	// Telemetry receives live metric series and task-lifecycle spans; nil
+	// disables instrumentation at zero cost.
+	Telemetry *telemetry.Registry
+	// EventLog receives one structured "task" event per completed task
+	// record, replayable by monitor.ReplayLog; nil disables event logging.
+	EventLog *telemetry.EventLog
 }
 
 func (s *Services) check(cfg *Config) error {

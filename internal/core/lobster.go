@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lobster/internal/monitor"
+	"lobster/internal/telemetry"
 	"lobster/internal/wq"
 	"lobster/internal/wrapper"
 )
@@ -32,6 +33,53 @@ type Lobster struct {
 	mergingOpen   int // merge tasks in flight
 	resultTimeout time.Duration
 	epoch         time.Time
+
+	tel coreTelemetry
+}
+
+// coreTelemetry holds the driver's instruments; the zero value is free.
+// Gauges are Set from the (single-threaded) main loop rather than exposed
+// as GaugeFuncs because the underlying fields are not lock-protected.
+type coreTelemetry struct {
+	taskletsRemaining *telemetry.Gauge
+	mergeBacklog      *telemetry.Gauge
+	inflight          *telemetry.Gauge
+	tasksRun          *telemetry.Counter
+	tasksFailed       *telemetry.Counter
+	merges            *telemetry.Counter
+	tracer            *telemetry.Tracer
+}
+
+// instrument registers the driver's metric series on svc.Telemetry. A nil
+// registry leaves the driver uninstrumented at zero cost.
+func (l *Lobster) instrument() {
+	reg := l.svc.Telemetry
+	if reg == nil && l.svc.EventLog == nil {
+		return
+	}
+	l.tel = coreTelemetry{
+		taskletsRemaining: reg.Gauge("lobster_core_tasklets_remaining",
+			"Tasklets not yet done or terminally failed."),
+		mergeBacklog: reg.Gauge("lobster_core_merge_backlog",
+			"Unmerged task outputs plus merge tasks in flight."),
+		inflight: reg.Gauge("lobster_core_tasks_inflight",
+			"Tasks submitted to the master and not yet resolved."),
+		tasksRun: reg.Counter("lobster_core_tasks_total",
+			"Processing task attempts that returned."),
+		tasksFailed: reg.Counter("lobster_core_task_failures_total",
+			"Processing task attempts that returned failure."),
+		merges: reg.Counter("lobster_core_merges_total",
+			"Merge tasks that returned."),
+		tracer: telemetry.NewTracer(reg, l.svc.EventLog),
+	}
+}
+
+// publishGauges pushes the driver's progress gauges. Called from the main
+// loop, so reads of the unlocked bookkeeping fields are safe.
+func (l *Lobster) publishGauges() {
+	l.tel.taskletsRemaining.Set(float64(len(l.tasklets) - l.doneTasklets - l.failTasklets))
+	l.tel.mergeBacklog.Set(float64(len(l.unmerged) + l.mergingOpen))
+	l.tel.inflight.Set(float64(len(l.inflight)))
 }
 
 type inflightTask struct {
@@ -84,6 +132,7 @@ func New(cfg Config, svc Services) (*Lobster, error) {
 		resultTimeout: 2 * time.Minute,
 		epoch:         epoch,
 	}
+	l.instrument()
 	return l, nil
 }
 
@@ -163,6 +212,7 @@ func (l *Lobster) mainLoop() error {
 		if err := l.fillBuffer(); err != nil {
 			return err
 		}
+		l.publishGauges()
 		if len(l.inflight) == 0 && len(l.pending) == 0 {
 			return nil
 		}
@@ -234,14 +284,17 @@ func (l *Lobster) handleResult(r *wq.Result) error {
 	switch info.kind {
 	case "proc":
 		l.tasksRun++
+		l.tel.tasksRun.Inc()
 		if r.Failed() {
 			l.tasksFailed++
+			l.tel.tasksFailed.Inc()
 			return l.handleProcFailure(info)
 		}
 		return l.handleProcSuccess(r, info)
 	case "merge":
 		l.mergingOpen--
 		l.mergesRun++
+		l.tel.merges.Inc()
 		if r.Failed() {
 			// Merge failures are terminal for their group: the inputs may be
 			// partially consumed. The unmerged outputs remain published.
@@ -329,6 +382,7 @@ func (l *Lobster) finalMerge() error {
 			}
 		}
 		for l.mergingOpen > 0 {
+			l.publishGauges()
 			r, ok := l.svc.Master.WaitResult(l.resultTimeout)
 			if !ok {
 				return fmt.Errorf("core: merge phase stalled with %d merges in flight", l.mergingOpen)
@@ -337,6 +391,7 @@ func (l *Lobster) finalMerge() error {
 				return err
 			}
 		}
+		l.publishGauges()
 		return nil
 	}
 	return nil
@@ -355,9 +410,10 @@ func decodeReport(r *wq.Result) *wrapper.Report {
 	return nil
 }
 
-// recordMonitor converts a task result into a monitoring record.
+// recordMonitor converts a task result into a monitoring record, feeding
+// the monitor DB, the task-lifecycle tracer, and the structured event log.
 func (l *Lobster) recordMonitor(r *wq.Result, info *inflightTask) {
-	if l.svc.Monitor == nil {
+	if l.svc.Monitor == nil && l.svc.EventLog == nil && l.tel.tracer == nil {
 		return
 	}
 	secs := func(t time.Time) float64 {
@@ -403,5 +459,29 @@ func (l *Lobster) recordMonitor(r *wq.Result, info *inflightTask) {
 			"bytes_out": rep.Metric("bytes_out"),
 		}
 	}
-	l.svc.Monitor.Add(rec)
+
+	// Stage timings arrive after the fact inside the wrapper report, so the
+	// real plane records them through Tracer.Observe rather than live spans.
+	if t := l.tel.tracer; t != nil {
+		pos := func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+		if info.kind == "merge" {
+			t.Observe(telemetry.StageMerge, pos(rec.Finish-rec.Start))
+		} else {
+			t.Observe(telemetry.StageSubmit, pos(rec.Dispatch-rec.Submit))
+			t.Observe(telemetry.StageDispatch, pos(rec.WQStageIn))
+			t.Observe(telemetry.StageStageIn, pos(rec.StageIn))
+			t.Observe(telemetry.StageSetup, pos(rec.SetupTime))
+			t.Observe(telemetry.StageExecute, pos(rec.CPUTime))
+			t.Observe(telemetry.StageStageOut, pos(rec.StageOut+rec.WQStageOut))
+		}
+	}
+	l.svc.EventLog.Emit("task", rec)
+	if l.svc.Monitor != nil {
+		l.svc.Monitor.Add(rec)
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"lobster/internal/parrot"
 	"lobster/internal/squid"
 	"lobster/internal/stats"
+	"lobster/internal/telemetry"
 	"lobster/internal/wq"
 	"lobster/internal/xrootd"
 )
@@ -52,6 +53,13 @@ type Options struct {
 
 	// Seed drives all synthetic content.
 	Seed uint64
+
+	// Telemetry, when set, instruments every component of the stack (proxy,
+	// chirp, master, workers) and is handed to core.Services.
+	Telemetry *telemetry.Registry
+	// EventLog, when set, is handed to core.Services for structured task
+	// event logging.
+	EventLog *telemetry.EventLog
 }
 
 // Defaults fills unset fields.
@@ -175,6 +183,7 @@ func Start(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.Proxy.Instrument(opts.Telemetry)
 	proxySrv := httptest.NewServer(st.Proxy)
 	st.closers = append(st.closers, proxySrv.Close)
 
@@ -198,6 +207,7 @@ func Start(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.ChirpSrv.Instrument(opts.Telemetry)
 	st.closers = append(st.closers, func() { st.ChirpSrv.Close() })
 
 	// Worker environment and registry.
@@ -228,6 +238,7 @@ func Start(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
+	master.Instrument(opts.Telemetry)
 	st.Services.Master = master
 	st.closers = append(st.closers, func() { master.Close() })
 	for i := 0; i < opts.Workers; i++ {
@@ -236,6 +247,8 @@ func Start(opts Options) (*Stack, error) {
 		}
 	}
 	st.Services.Monitor = monitor.New()
+	st.Services.Telemetry = opts.Telemetry
+	st.Services.EventLog = opts.EventLog
 	ok = true
 	return st, nil
 }
@@ -249,6 +262,7 @@ func (st *Stack) AddWorker() (*wq.Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("deploy: starting %s: %w", name, err)
 	}
+	w.Instrument(st.Options.Telemetry)
 	st.workers = append(st.workers, w)
 	return w, nil
 }

@@ -61,6 +61,13 @@ func (r *TaskRecord) WallTime() float64 { return r.Finish - r.Start }
 type Monitor struct {
 	mu      sync.RWMutex
 	records []TaskRecord
+
+	// byFinish caches record indices sorted by Finish so windowed queries
+	// (Timeline, FailureCodes) can binary-search to their window instead of
+	// scanning every record. sortGen is the record count the index was built
+	// at; Add invalidates by simply growing records past it.
+	byFinish []int
+	sortGen  int
 }
 
 // New returns an empty monitor.
@@ -71,6 +78,36 @@ func (m *Monitor) Add(r TaskRecord) {
 	m.mu.Lock()
 	m.records = append(m.records, r)
 	m.mu.Unlock()
+}
+
+// ensureIndexLocked brings the finish-sorted index up to date. Caller holds
+// the write lock. Records usually arrive in roughly finish order (results
+// stream back as tasks complete), so the common case appends the new tail
+// without sorting; out-of-order arrivals trigger one stable re-sort.
+func (m *Monitor) ensureIndexLocked() {
+	n := len(m.records)
+	if m.sortGen == n {
+		return
+	}
+	tail := len(m.byFinish)
+	for i := tail; i < n; i++ {
+		m.byFinish = append(m.byFinish, i)
+	}
+	sorted := true
+	for i := tail; i < n; i++ {
+		if i > 0 && m.records[m.byFinish[i-1]].Finish > m.records[m.byFinish[i]].Finish {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		// Stable so equal finish times keep arrival order, preserving the
+		// accumulation order (and float summation) of the scan-based code.
+		sort.SliceStable(m.byFinish, func(a, b int) bool {
+			return m.records[m.byFinish[a]].Finish < m.records[m.byFinish[b]].Finish
+		})
+	}
+	m.sortGen = n
 }
 
 // Len returns the number of records.
@@ -199,11 +236,17 @@ func (m *Monitor) Timeline(start, end, binWidth float64) (*Timeline, error) {
 		return i
 	}
 
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for i := range m.records {
-		r := &m.records[i]
-		if r.Finish <= start || r.Start >= end {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureIndexLocked()
+	// Prune the prefix of records that finished before the window opened;
+	// for recent-window queries over a long run this skips nearly everything.
+	first := sort.Search(len(m.byFinish), func(i int) bool {
+		return m.records[m.byFinish[i]].Finish > start
+	})
+	for _, ri := range m.byFinish[first:] {
+		r := &m.records[ri]
+		if r.Start >= end {
 			continue
 		}
 		// Concurrency: spread the task's [Start, Finish) over bins.
@@ -266,11 +309,20 @@ func (m *Monitor) FailureCodes(start, end, binWidth float64) (map[int][]int, err
 	}
 	nbins := int(math.Ceil((end - start) / binWidth))
 	out := make(map[int][]int)
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for i := range m.records {
-		r := &m.records[i]
-		if !r.Failed() || r.Finish < start || r.Finish >= end {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureIndexLocked()
+	// Binary-search the finish-sorted index to exactly the [start, end)
+	// window instead of scanning every record.
+	lo := sort.Search(len(m.byFinish), func(i int) bool {
+		return m.records[m.byFinish[i]].Finish >= start
+	})
+	hi := sort.Search(len(m.byFinish), func(i int) bool {
+		return m.records[m.byFinish[i]].Finish >= end
+	})
+	for _, ri := range m.byFinish[lo:hi] {
+		r := &m.records[ri]
+		if !r.Failed() {
 			continue
 		}
 		b := int((r.Finish - start) / binWidth)
@@ -350,6 +402,8 @@ func (m *Monitor) LoadFrom(db *store.DB) error {
 	}
 	m.mu.Lock()
 	m.records = records
+	m.byFinish = nil
+	m.sortGen = 0
 	m.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,31 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lobster/internal/telemetry"
+)
+
+// ReplayLog rebuilds the monitor's record database from a structured JSONL
+// event log (the crash-recovery path: a restarted Lobster replays the log
+// its predecessor emitted). Events with type "task" carry one TaskRecord
+// each; other event types are skipped. Returns the number of records
+// replayed.
+func (m *Monitor) ReplayLog(r io.Reader) (int, error) {
+	n := 0
+	err := telemetry.ReadEvents(r, func(ev telemetry.Event) error {
+		if ev.Type != "task" {
+			return nil
+		}
+		var rec TaskRecord
+		if err := json.Unmarshal(ev.Data, &rec); err != nil {
+			return fmt.Errorf("monitor: replaying task event: %w", err)
+		}
+		m.Add(rec)
+		n++
+		return nil
+	})
+	return n, err
+}

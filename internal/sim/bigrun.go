@@ -7,6 +7,7 @@ import (
 	"lobster/internal/monitor"
 	"lobster/internal/simevent"
 	"lobster/internal/stats"
+	"lobster/internal/telemetry"
 )
 
 // BigRunConfig describes an at-scale production run: the 10k-core data
@@ -51,6 +52,12 @@ type BigRunConfig struct {
 
 	MaxAttempts int // per task before giving up (generous; default 10)
 	Seed        uint64
+
+	// Telemetry, when set, records the real plane's metric series on the
+	// simulated clock (the registry's clock is switched to simulation time).
+	// Instrumentation never touches the RNG, so results are bit-identical
+	// with or without it.
+	Telemetry *telemetry.Registry
 }
 
 // Exit codes used by the big-run model, matching the wrapper's segment
@@ -177,11 +184,15 @@ func (tp *taskPool) take() (id int, ok bool) {
 	return tp.nextID, true
 }
 
-func (tp *taskPool) requeue(id int) {
+// requeue returns the task to the pool for another attempt, reporting
+// whether it had attempts left.
+func (tp *taskPool) requeue(id int) bool {
 	tp.attempts[id]++
 	if tp.attempts[id] < tp.maxTries {
 		tp.requeued = append(tp.requeued, id)
+		return true
 	}
+	return false
 }
 
 // RunBig executes the model and returns its result. Deterministic for a
@@ -208,6 +219,11 @@ func RunBig(cfg BigRunConfig) (*BigRunResult, error) {
 	s := simevent.New()
 	rng := stats.NewRand(cfg.Seed)
 	res := &BigRunResult{Config: cfg, Monitor: monitor.New()}
+	var tel bigRunTelemetry
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.SetClock(s.Now)
+		tel.init(cfg.Telemetry)
+	}
 	wan := simevent.NewLink(s, cfg.WANBandwidth)
 	proxy := simevent.NewLink(s, cfg.ProxyBandwidth)
 	chirpSlots := simevent.NewResource(s, cfg.ChirpSlots)
@@ -224,6 +240,8 @@ func RunBig(cfg BigRunConfig) (*BigRunResult, error) {
 			p.Wait(startAt)
 			for p.Now() < cfg.Duration {
 				life := &workerLife{cold: true, sig: simevent.NewSignal(s)}
+				tel.launched.Inc()
+				tel.pilotsUp.Add(1)
 				span := math.Inf(1)
 				if cfg.Survival != nil {
 					span = cfg.Survival.Sample(wrng)
@@ -235,7 +253,7 @@ func RunBig(cfg BigRunConfig) (*BigRunResult, error) {
 					cp := s.Go(func(p *simevent.Proc) {
 						runCoreSlot(p, &cfg, life, pool, crng,
 							wan, proxy, chirpSlots, chirpLink,
-							res, &running, &recordID)
+							res, &running, &recordID, &tel)
 					})
 					coreProcs = append(coreProcs, cp)
 				}
@@ -243,6 +261,8 @@ func RunBig(cfg BigRunConfig) (*BigRunResult, error) {
 					p.Wait(span)
 					life.dead = true
 					res.Evictions++
+					tel.evictions.Inc()
+					tel.pilotsUp.Add(-1)
 					for _, cp := range coreProcs {
 						cp.Interrupt()
 					}
@@ -252,6 +272,7 @@ func RunBig(cfg BigRunConfig) (*BigRunResult, error) {
 				// Life outlasts the run window.
 				p.WaitUntil(cfg.Duration)
 				life.dead = true
+				tel.pilotsUp.Add(-1)
 				for _, cp := range coreProcs {
 					cp.Interrupt()
 				}
@@ -276,13 +297,17 @@ type workerLife struct {
 func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 	pool *taskPool, rng *stats.Rand,
 	wan, proxy *simevent.Link, chirpSlots *simevent.Resource, chirpLink *simevent.Link,
-	res *BigRunResult, running *int, recordID *int64) {
+	res *BigRunResult, running *int, recordID *int64, tel *bigRunTelemetry) {
 
 	record := func(rec monitor.TaskRecord) {
 		*recordID++
 		rec.TaskID = *recordID
 		rec.Kind = cfg.Name
 		res.Monitor.Add(rec)
+	}
+	publish := func() {
+		tel.tasksRunning.Set(float64(*running))
+		tel.tasksWaiting.Set(float64(pool.remaining + len(pool.requeued)))
 	}
 
 	for !life.dead && p.Now() < cfg.Duration {
@@ -295,6 +320,8 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		if *running > res.PeakCores {
 			res.PeakCores = *running
 		}
+		tel.dispatches.Inc()
+		publish()
 		rec := monitor.TaskRecord{
 			Worker:   "",
 			Submit:   start,
@@ -303,7 +330,10 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		}
 		fail := func(code int, setup, io, stageOut float64) {
 			*running--
-			pool.requeue(taskID)
+			if pool.requeue(taskID) {
+				tel.requeues.Inc()
+			}
+			publish()
 			if code == ExitEvicted && p.Now() >= cfg.Duration-1 {
 				// End-of-window cancellation, not a real failure: the run
 				// simply stopped with this task in flight.
@@ -318,6 +348,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 			rec.StageOut = stageOut
 			record(rec)
 			res.TasksFailed++
+			tel.tasksFailed.Inc()
 		}
 
 		// WQ dispatch (sandbox and task description send).
@@ -328,6 +359,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		}
 		rec.WQStageIn = dispatch
 		rec.Start = p.Now()
+		tel.tracer.Observe(telemetry.StageDispatch, dispatch)
 
 		// Software setup through the proxy layer. The first task of a life
 		// fills the cold cache; its slot-mates wait on the shared cache.
@@ -335,6 +367,8 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		switch {
 		case life.cold && !life.coldRunning:
 			life.coldRunning = true
+			tel.squidMisses.Inc()
+			tel.squidFetched.Add(int64(cfg.ColdCacheBytes))
 			okT := proxy.Transfer(p, cfg.ColdCacheBytes)
 			if okT {
 				// Client-side bandwidth cap.
@@ -350,17 +384,20 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 			life.cold = false
 			life.sig.Broadcast()
 		case life.cold:
+			tel.squidCoalesced.Inc()
 			if !life.sig.Await(p) {
 				fail(ExitEvicted, p.Now()-setupStart, 0, 0)
 				return
 			}
 		default:
+			tel.squidHits.Inc()
 			if !p.Wait(cfg.HotSetupTime) {
 				fail(ExitEvicted, p.Now()-setupStart, 0, 0)
 				return
 			}
 		}
 		setup := p.Now() - setupStart
+		tel.tracer.Observe(telemetry.StageSetup, setup)
 		if cfg.SetupTimeout > 0 && setup > cfg.SetupTimeout &&
 			rng.Float64() < cfg.SetupTimeoutFailProb {
 			fail(ExitSetupTimeout, setup, 0, 0)
@@ -392,19 +429,26 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 			}
 		}
 		if cfg.PileupBytes > 0 {
-			if !chirpSlots.Acquire(p) {
+			tel.chirpQueued.Add(1)
+			ok := chirpSlots.Acquire(p)
+			tel.chirpQueued.Add(-1)
+			if !ok {
 				fail(ExitEvicted, setup, p.Now()-ioStart, 0)
 				return
 			}
+			tel.chirpActive.Add(1)
 			okT := chirpLink.Transfer(p, cfg.PileupBytes)
 			chirpSlots.Release()
+			tel.chirpActive.Add(-1)
 			if !okT {
 				fail(ExitEvicted, setup, p.Now()-ioStart, 0)
 				return
 			}
+			tel.chirpBytesOut.Add(int64(cfg.PileupBytes))
 		}
 		io := p.Now() - ioStart
 		rec.IOTime = io
+		tel.tracer.Observe(telemetry.StageStageIn, io)
 
 		// Transient application failure.
 		if rng.Float64() < cfg.MiscFailProb {
@@ -419,20 +463,28 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 			return
 		}
 		rec.CPUTime = cpu
+		tel.tracer.Observe(telemetry.StageExecute, cpu)
 
 		// Stage-out through the chirp connection cap.
 		outStart := p.Now()
-		if !chirpSlots.Acquire(p) {
+		tel.chirpQueued.Add(1)
+		okA := chirpSlots.Acquire(p)
+		tel.chirpQueued.Add(-1)
+		if !okA {
 			fail(ExitEvicted, setup, io, p.Now()-outStart)
 			return
 		}
+		tel.chirpActive.Add(1)
 		okT := chirpLink.Transfer(p, cfg.OutputBytes)
 		chirpSlots.Release()
+		tel.chirpActive.Add(-1)
 		if !okT {
 			fail(ExitEvicted, setup, io, p.Now()-outStart)
 			return
 		}
+		tel.chirpBytesIn.Add(int64(cfg.OutputBytes))
 		rec.StageOut = p.Now() - outStart
+		tel.tracer.Observe(telemetry.StageStageOut, rec.StageOut)
 		// Result collection by the loaded master (the paper's "time spent
 		// waiting for responses").
 		rec.WQStageOut = stats.Gaussian{Mu: 100, Sigma: 30, Floor: 5}.Sample(rng)
@@ -446,5 +498,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		}
 		record(rec)
 		res.TasksDone++
+		tel.tasksDone.Inc()
+		publish()
 	}
 }

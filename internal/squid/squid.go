@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lobster/internal/telemetry"
 )
 
 // Stats is a snapshot of proxy counters.
@@ -69,6 +71,63 @@ type Proxy struct {
 	items    map[string]*list.Element // key → element
 	inflight map[string]*fetch
 	stats    Stats
+
+	tel proxyTelemetry
+}
+
+// proxyTelemetry holds the proxy's instruments; the zero value is free.
+type proxyTelemetry struct {
+	hits         *telemetry.Counter
+	misses       *telemetry.Counter
+	coalesced    *telemetry.Counter
+	originErrors *telemetry.Counter
+	evictions    *telemetry.Counter
+	bytesServed  *telemetry.Counter
+	bytesFetched *telemetry.Counter
+}
+
+// Instrument registers the proxy's metric series on reg. A nil registry
+// leaves the proxy uninstrumented at zero cost.
+func (p *Proxy) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.tel = proxyTelemetry{
+		hits: reg.Counter("lobster_squid_hits_total",
+			"Requests served from the proxy cache."),
+		misses: reg.Counter("lobster_squid_misses_total",
+			"Requests that triggered an origin fetch."),
+		coalesced: reg.Counter("lobster_squid_coalesced_total",
+			"Requests satisfied by piggybacking on an in-flight origin fetch."),
+		originErrors: reg.Counter("lobster_squid_origin_errors_total",
+			"Origin fetches that failed."),
+		evictions: reg.Counter("lobster_squid_evictions_total",
+			"Cache entries evicted to make room."),
+		bytesServed: reg.Counter("lobster_squid_bytes_served_total",
+			"Response bytes served to clients."),
+		bytesFetched: reg.Counter("lobster_squid_bytes_fetched_total",
+			"Bytes fetched from the origin (misses only)."),
+	}
+	reg.GaugeFunc("lobster_squid_hit_ratio",
+		"Cache hit ratio: hits / (hits + misses).",
+		func() float64 { return p.Stats().HitRate() })
+	reg.GaugeFunc("lobster_squid_cached_bytes",
+		"Bytes currently held in the proxy cache.",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(p.used)
+		})
+	reg.GaugeFunc("lobster_squid_cached_objects",
+		"Objects currently held in the proxy cache.",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(p.lru.Len())
+		})
+	reg.GaugeFunc("lobster_squid_origin_inflight",
+		"Origin fetches currently in flight (bounded by MaxOriginConns).",
+		func() float64 { return float64(len(p.sem)) })
 }
 
 type entry struct {
@@ -138,6 +197,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.mu.Lock()
 		p.stats.OriginErrors++
 		p.mu.Unlock()
+		p.tel.originErrors.Inc()
 		http.Error(w, "squid: origin fetch failed: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -155,6 +215,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	p.stats.BytesServed += int64(len(ent.body))
 	p.mu.Unlock()
+	p.tel.bytesServed.Add(int64(len(ent.body)))
 	w.Write(ent.body)
 }
 
@@ -167,12 +228,14 @@ func (p *Proxy) get(key string) (*entry, bool, error) {
 		p.stats.Hits++
 		ent := el.Value.(*entry)
 		p.mu.Unlock()
+		p.tel.hits.Inc()
 		return ent, true, nil
 	}
 	// Coalesce with an in-flight fetch if one exists.
 	if f, ok := p.inflight[key]; ok {
 		p.stats.Coalesced++
 		p.mu.Unlock()
+		p.tel.coalesced.Inc()
 		<-f.done
 		if f.err != nil {
 			return nil, false, f.err
@@ -183,6 +246,7 @@ func (p *Proxy) get(key string) (*entry, bool, error) {
 	p.inflight[key] = f
 	p.stats.Misses++
 	p.mu.Unlock()
+	p.tel.misses.Inc()
 
 	f.ent, f.err = p.fetchOrigin(key)
 	p.mu.Lock()
@@ -224,6 +288,7 @@ func (p *Proxy) insertLocked(ent *entry) {
 		delete(p.items, victim.key)
 		p.used -= int64(len(victim.body))
 		p.stats.Evictions++
+		p.tel.evictions.Inc()
 	}
 	p.items[ent.key] = p.lru.PushFront(ent)
 	p.used += size
@@ -262,5 +327,6 @@ func (p *Proxy) fetchOrigin(key string) (*entry, error) {
 	p.mu.Lock()
 	p.stats.BytesFetched += int64(len(body))
 	p.mu.Unlock()
+	p.tel.bytesFetched.Add(int64(len(body)))
 	return &entry{key: key, body: body, hdr: hdr}, nil
 }

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one JSONL event-log line. Data holds the type-specific payload
+// verbatim; the monitor's replay path decodes "task" events back into
+// TaskRecords to rebuild its database after a crash.
+type Event struct {
+	Time float64         `json:"t"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// EventLog is an append-only, line-buffered JSONL structured event log.
+// Safe for concurrent use; the nil EventLog discards everything.
+type EventLog struct {
+	clock Clock
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	err    error
+
+	emitted atomic.Int64
+}
+
+// NewEventLog writes events to w, stamping them with clock (nil clock
+// stamps zeros).
+func NewEventLog(w io.Writer, clock Clock) *EventLog {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	l := &EventLog{clock: clock, w: bufio.NewWriterSize(w, 64<<10)}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	return l
+}
+
+// OpenEventLog appends to the JSONL file at path, creating it if needed.
+func OpenEventLog(path string, clock Clock) (*EventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: event log: %w", err)
+	}
+	return NewEventLog(f, clock), nil
+}
+
+// Emit appends one event of the given type. Marshal failures poison the
+// log (subsequent Flush/Close return the first error) rather than panic.
+func (l *EventLog) Emit(typ string, data any) {
+	if l == nil {
+		return
+	}
+	payload, err := json.Marshal(data)
+	if err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = fmt.Errorf("telemetry: event %s: %w", typ, err)
+		}
+		l.mu.Unlock()
+		return
+	}
+	ev := Event{Time: l.clock(), Type: typ, Data: payload}
+	line, err := json.Marshal(&ev)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.w.WriteByte('\n')
+	l.mu.Unlock()
+	l.emitted.Add(1)
+}
+
+// Emitted returns the number of events appended.
+func (l *EventLog) Emitted() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.emitted.Load()
+}
+
+// Flush forces buffered events to the underlying writer.
+func (l *EventLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	err := l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closer != nil {
+		if cerr := l.closer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.closer = nil
+	}
+	return err
+}
+
+// ReadEvents scans a JSONL event stream, calling fn for each event. Blank
+// lines are skipped; a malformed line aborts with its line number.
+func ReadEvents(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("telemetry: event log line %d: %w", lineNo, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

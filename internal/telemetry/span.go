@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"sync/atomic"
+)
+
+// Stage names one phase of the task lifecycle, in execution order. The set
+// mirrors the paper's wrapper decomposition plus the master-side phases:
+// submit → wq dispatch → sandbox stage-in → software setup → per-segment
+// execution → stage-out → merge.
+type Stage uint8
+
+// Task lifecycle stages.
+const (
+	StageSubmit   Stage = iota // queued at the master, awaiting dispatch
+	StageDispatch              // wq sandbox/task transmission to the worker
+	StageStageIn               // task-level input staging (WAN / chirp)
+	StageSetup                 // software environment setup through squid
+	StageExecute               // the application segment
+	StageStageOut              // output staging to the storage element
+	StageMerge                 // merge-task execution
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"submit", "dispatch", "stage_in", "setup", "execute", "stage_out", "merge",
+}
+
+// String returns the stage's label value.
+func (s Stage) String() string {
+	if s < numStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Tracer records task-lifecycle spans into per-stage duration histograms
+// (lobster_task_stage_seconds{stage=...}) and, when an event log is
+// attached, one structured "span" event per task. The nil Tracer and the
+// spans it returns are complete no-ops.
+type Tracer struct {
+	reg    *Registry
+	log    *EventLog
+	stages [numStages]*Histogram
+	active *Gauge
+	total  *Counter
+	nextID atomic.Int64
+}
+
+// NewTracer builds a tracer on reg, logging spans to log (which may be
+// nil). A nil registry yields a nil (disabled) tracer.
+func NewTracer(reg *Registry, log *EventLog) *Tracer {
+	if reg == nil {
+		return nil
+	}
+	t := &Tracer{reg: reg, log: log}
+	hv := reg.HistogramVec("lobster_task_stage_seconds",
+		"Task lifecycle stage durations in seconds (both planes).", nil, "stage")
+	for s := Stage(0); s < numStages; s++ {
+		t.stages[s] = hv.With(s.String())
+	}
+	t.active = reg.Gauge("lobster_task_spans_active", "Task spans currently open.")
+	t.total = reg.Counter("lobster_task_spans_total", "Task spans started.")
+	return t
+}
+
+// Observe records one stage duration without an open span — the path the
+// real plane uses when stage timings arrive after the fact inside a
+// completed task's wrapper report.
+func (t *Tracer) Observe(stage Stage, seconds float64) {
+	if t == nil || stage >= numStages {
+		return
+	}
+	t.stages[stage].Observe(seconds)
+}
+
+// SpanEvent is the event-log payload for one completed span.
+type SpanEvent struct {
+	SpanID   int64              `json:"span_id"`
+	TaskID   int64              `json:"task_id"`
+	Kind     string             `json:"kind"`
+	Start    float64            `json:"start"`
+	End      float64            `json:"end"`
+	ExitCode int                `json:"exit_code"`
+	Stages   map[string]float64 `json:"stages,omitempty"`
+}
+
+// Span is one task's open trace. The zero Span (and any span from a nil
+// tracer) is inert: Mark and End are no-ops.
+type Span struct {
+	t       *Tracer
+	ev      SpanEvent
+	stage   Stage
+	stageAt float64
+	open    bool
+}
+
+// Start opens a span for a task. kind tags the workload ("analysis",
+// "merge", "simulation"); the span begins in StageSubmit.
+func (t *Tracer) Start(kind string, taskID int64) *Span {
+	if t == nil {
+		return nil
+	}
+	now := t.reg.Now()
+	t.active.Add(1)
+	t.total.Inc()
+	return &Span{
+		t: t,
+		ev: SpanEvent{
+			SpanID: t.nextID.Add(1), TaskID: taskID, Kind: kind, Start: now,
+		},
+		stage: StageSubmit, stageAt: now, open: true,
+	}
+}
+
+// Mark transitions the span into stage, closing the previous stage and
+// observing its duration. The nil checks live in thin wrappers so the
+// disabled path inlines to a single branch.
+func (s *Span) Mark(stage Stage) {
+	if s != nil && s.open {
+		s.mark(stage)
+	}
+}
+
+func (s *Span) mark(stage Stage) {
+	if stage >= numStages {
+		return
+	}
+	now := s.t.reg.Now()
+	s.closeStage(now)
+	s.stage, s.stageAt = stage, now
+}
+
+// closeStage records the duration of the current stage.
+func (s *Span) closeStage(now float64) {
+	d := now - s.stageAt
+	if d < 0 {
+		d = 0
+	}
+	s.t.stages[s.stage].Observe(d)
+	if s.t.log != nil {
+		if s.ev.Stages == nil {
+			s.ev.Stages = make(map[string]float64, int(numStages))
+		}
+		s.ev.Stages[s.stage.String()] += d
+	}
+}
+
+// End closes the span with the task's exit code. Calling End twice is a
+// no-op.
+func (s *Span) End(exitCode int) {
+	if s != nil && s.open {
+		s.end(exitCode)
+	}
+}
+
+func (s *Span) end(exitCode int) {
+	s.open = false
+	now := s.t.reg.Now()
+	s.closeStage(now)
+	s.ev.End, s.ev.ExitCode = now, exitCode
+	s.t.active.Add(-1)
+	if s.t.log != nil {
+		s.t.log.Emit("span", &s.ev)
+	}
+}

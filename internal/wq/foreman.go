@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lobster/internal/telemetry"
 )
 
 // Foreman sits between a master and a set of workers: upstream it looks
@@ -28,6 +30,28 @@ type Foreman struct {
 	relayed atomic.Int64
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+
+	telRelayed *telemetry.Counter
+	telErrors  *telemetry.Counter
+}
+
+// Instrument registers the foreman's (process-aggregate) metric series on
+// reg. A nil registry leaves the foreman uninstrumented at zero cost.
+func (f *Foreman) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	f.telRelayed = reg.Counter("lobster_wq_foreman_relayed_total",
+		"Results relayed upstream by foremen in this process.")
+	f.telErrors = reg.Counter("lobster_wq_foreman_errors_total",
+		"Tasks a foreman failed locally (cache or downstream submit errors).")
+	reg.GaugeFunc("lobster_wq_foreman_inflight",
+		"Tasks accepted by foremen and not yet relayed upstream.",
+		func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(len(f.idMap))
+		})
 }
 
 // NewForeman connects to the master at upstreamAddr, advertising cores
@@ -105,6 +129,7 @@ func (f *Foreman) taskLoop() {
 			// Materialise stripped cacheable inputs from the foreman cache
 			// so they can be re-encoded per downstream connection.
 			if _, _, err := decodeInputs(t, f.cache); err != nil {
+				f.telErrors.Inc()
 				f.upstream.send(&message{Type: "result", Result: &Result{
 					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
 					ExitCode: 170, Error: fmt.Sprintf("foreman cache: %v", err),
@@ -113,6 +138,7 @@ func (f *Foreman) taskLoop() {
 			}
 			downID, err := f.down.Submit(t)
 			if err != nil {
+				f.telErrors.Inc()
 				f.upstream.send(&message{Type: "result", Result: &Result{
 					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
 					ExitCode: 170, Error: fmt.Sprintf("foreman submit: %v", err),
@@ -145,6 +171,7 @@ func (f *Foreman) resultLoop() {
 		}
 		r.TaskID = upID
 		f.relayed.Add(1)
+		f.telRelayed.Inc()
 		if err := f.upstream.send(&message{Type: "result", Result: r}); err != nil {
 			return
 		}

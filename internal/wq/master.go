@@ -6,19 +6,28 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lobster/internal/telemetry"
 )
 
-// MasterStats is a snapshot of master-side counters.
+// MasterStats is a snapshot of master-side counters. Every field is read
+// under the master mutex in one critical section (plus the result mutex for
+// ResultsPending), so a snapshot is internally consistent — no torn reads
+// between, say, TasksRunning and TasksDispatched.
 type MasterStats struct {
 	WorkersConnected int // currently connected (foremen count as one)
 	WorkersSeen      int // total hellos
 	WorkersLost      int // connections dropped with tasks outstanding or not
 	CoresConnected   int
-	TasksWaiting     int
-	TasksRunning     int
+	TasksWaiting     int // submitted, not yet dispatched (queue depth)
+	TasksRunning     int // dispatched, result not yet received (in flight)
+	TasksDispatched  int // cumulative dispatches, including re-dispatches
 	TasksDone        int
-	TasksFailed      int // done with failure
-	Requeues         int // dispatches repeated after worker loss
+	TasksFailed      int   // done with failure
+	Requeues         int   // cumulative dispatches repeated after worker loss
+	ResultsPending   int   // results received but not yet collected by WaitResult
+	BytesSent        int64 // task input payload bytes shipped to workers
+	BytesReceived    int64 // task output payload bytes returned by workers
 }
 
 // Master owns the task queue and distributes work to connected workers.
@@ -41,8 +50,68 @@ type Master struct {
 	results []*Result
 
 	statsSeen, statsLost, statsDone, statsFailed, statsRequeues int
+	statsDispatched                                             int
+	statsBytesOut, statsBytesIn                                 int64
+
+	tel masterTelemetry
 
 	wg sync.WaitGroup
+}
+
+// masterTelemetry holds the master's instruments. The zero value (nil
+// fields) is fully functional and free: every method on a nil instrument
+// is a no-op branch.
+type masterTelemetry struct {
+	dispatches   *telemetry.Counter
+	requeues     *telemetry.Counter
+	done         *telemetry.Counter
+	failed       *telemetry.Counter
+	workersSeen  *telemetry.Counter
+	workersLost  *telemetry.Counter
+	bytesSent    *telemetry.Counter
+	bytesRecv    *telemetry.Counter
+	dispatchWait *telemetry.Histogram
+}
+
+// Instrument registers the master's metric series on reg and begins
+// updating them. Call once, before heavy traffic; a nil registry leaves
+// the master uninstrumented at zero cost.
+func (m *Master) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.tel = masterTelemetry{
+		dispatches: reg.Counter("lobster_wq_dispatches_total",
+			"Tasks dispatched to workers, including re-dispatches."),
+		requeues: reg.Counter("lobster_wq_requeues_total",
+			"Tasks returned to the queue after a worker was lost."),
+		done: reg.Counter("lobster_wq_tasks_done_total",
+			"Task results collected (success and failure)."),
+		failed: reg.Counter("lobster_wq_tasks_failed_total",
+			"Task results that reported failure."),
+		workersSeen: reg.Counter("lobster_wq_workers_seen_total",
+			"Worker hellos accepted."),
+		workersLost: reg.Counter("lobster_wq_workers_lost_total",
+			"Worker connections dropped."),
+		bytesSent: reg.Counter("lobster_wq_bytes_sent_total",
+			"Task input payload bytes shipped to workers (after cache stripping)."),
+		bytesRecv: reg.Counter("lobster_wq_bytes_received_total",
+			"Task output payload bytes returned by workers."),
+		dispatchWait: reg.Histogram("lobster_wq_dispatch_latency_seconds",
+			"Submit-to-dispatch queue latency.", nil),
+	}
+	reg.GaugeFunc("lobster_wq_tasks_waiting",
+		"Tasks submitted and awaiting dispatch (queue depth).",
+		func() float64 { return float64(m.Stats().TasksWaiting) })
+	reg.GaugeFunc("lobster_wq_tasks_running",
+		"Tasks dispatched and awaiting results (in flight).",
+		func() float64 { return float64(m.Stats().TasksRunning) })
+	reg.GaugeFunc("lobster_wq_workers_connected",
+		"Workers (or foremen) currently connected.",
+		func() float64 { return float64(m.Stats().WorkersConnected) })
+	reg.GaugeFunc("lobster_wq_cores_connected",
+		"Cores advertised by connected workers.",
+		func() float64 { return float64(m.Stats().CoresConnected) })
 }
 
 type assignment struct {
@@ -107,15 +176,17 @@ func (m *Master) Submit(t *Task) (int64, error) {
 // Stats returns a snapshot of master counters.
 func (m *Master) Stats() MasterStats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := MasterStats{
-		WorkersSeen:  m.statsSeen,
-		WorkersLost:  m.statsLost,
-		TasksWaiting: len(m.ready),
-		TasksRunning: len(m.running),
-		TasksDone:    m.statsDone,
-		TasksFailed:  m.statsFailed,
-		Requeues:     m.statsRequeues,
+		WorkersSeen:     m.statsSeen,
+		WorkersLost:     m.statsLost,
+		TasksWaiting:    len(m.ready),
+		TasksRunning:    len(m.running),
+		TasksDispatched: m.statsDispatched,
+		TasksDone:       m.statsDone,
+		TasksFailed:     m.statsFailed,
+		Requeues:        m.statsRequeues,
+		BytesSent:       m.statsBytesOut,
+		BytesReceived:   m.statsBytesIn,
 	}
 	for wc := range m.workers {
 		if !wc.dead {
@@ -123,6 +194,12 @@ func (m *Master) Stats() MasterStats {
 			s.CoresConnected += wc.cores
 		}
 	}
+	m.mu.Unlock()
+	// resMu is taken after m.mu is released: WaitResult holds resMu while
+	// acquiring m.mu, so nesting them here would invert the lock order.
+	m.resMu.Lock()
+	s.ResultsPending = len(m.results)
+	m.resMu.Unlock()
 	return s
 }
 
@@ -222,6 +299,7 @@ func (m *Master) serveWorker(c *conn) {
 	m.workers[wc] = true
 	m.statsSeen++
 	m.mu.Unlock()
+	m.tel.workersSeen.Inc()
 
 	done := make(chan struct{})
 	go func() {
@@ -243,6 +321,7 @@ func (m *Master) serveWorker(c *conn) {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	m.tel.workersLost.Inc()
 	c.close()
 	<-done
 	for _, t := range lost {
@@ -261,12 +340,15 @@ func (m *Master) requeue(t *Task, worker string) {
 		m.ready = append(m.ready, t)
 		m.cond.Broadcast()
 		m.mu.Unlock()
+		m.tel.requeues.Inc()
 		return
 	}
 	m.statsDone++
 	m.statsFailed++
 	sub := m.submitT[t.ID]
 	m.mu.Unlock()
+	m.tel.done.Inc()
+	m.tel.failed.Inc()
 	m.pushResult(&Result{
 		TaskID:   t.ID,
 		Tag:      t.Tag,
@@ -293,10 +375,21 @@ func (m *Master) dispatchLoop(wc *workerConn) {
 		m.ready = m.ready[1:]
 		wc.inUse++
 		m.running[t.ID] = &assignment{task: t, wc: wc}
-		m.dispT[t.ID] = time.Now()
+		now := time.Now()
+		m.dispT[t.ID] = now
+		m.statsDispatched++
+		sub := m.submitT[t.ID]
 		m.mu.Unlock()
+		m.tel.dispatches.Inc()
+		if !sub.IsZero() {
+			m.tel.dispatchWait.Observe(now.Sub(sub).Seconds())
+		}
 
 		msg := &message{Type: "task", Task: encodeInputs(t, wc.sent)}
+		var sent int64
+		for i := range msg.Task.Inputs {
+			sent += int64(len(msg.Task.Inputs[i].Data))
+		}
 		if err := wc.conn.send(msg); err != nil {
 			// The read loop will notice the dead connection and requeue
 			// everything including this task; just stop dispatching.
@@ -306,6 +399,10 @@ func (m *Master) dispatchLoop(wc *workerConn) {
 			m.mu.Unlock()
 			return
 		}
+		m.mu.Lock()
+		m.statsBytesOut += sent
+		m.mu.Unlock()
+		m.tel.bytesSent.Add(sent)
 	}
 }
 
@@ -331,9 +428,15 @@ func (m *Master) readLoop(wc *workerConn) {
 			delete(m.running, r.TaskID)
 			wc.inUse--
 			m.statsDone++
-			if r.Failed() {
+			failed := r.Failed()
+			if failed {
 				m.statsFailed++
 			}
+			var recv int64
+			for i := range r.Outputs {
+				recv += int64(len(r.Outputs[i].Data))
+			}
+			m.statsBytesIn += recv
 			r.Requeues = m.retries[r.TaskID]
 			r.Stats.Times.Submitted = m.submitT[r.TaskID]
 			r.Stats.Times.Dispatched = m.dispT[r.TaskID]
@@ -342,6 +445,11 @@ func (m *Master) readLoop(wc *workerConn) {
 			delete(m.retries, r.TaskID)
 			m.cond.Broadcast()
 			m.mu.Unlock()
+			m.tel.done.Inc()
+			if failed {
+				m.tel.failed.Inc()
+			}
+			m.tel.bytesRecv.Add(recv)
 			r.Stats.Times.Returned = time.Now()
 			m.pushResult(r)
 		case "ping":

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lobster/internal/telemetry"
 )
 
 // Worker connects to a master (or foreman), advertises a number of cores,
@@ -30,6 +32,45 @@ type Worker struct {
 
 	tasksRun    atomic.Int64
 	tasksFailed atomic.Int64
+
+	tel workerTelemetry
+}
+
+// workerTelemetry holds the worker's instruments; series are shared by all
+// workers in a process (the fleet aggregate), so the zero value stays free
+// and instrumenting many workers does not explode cardinality.
+type workerTelemetry struct {
+	tasks     *telemetry.Counter
+	failures  *telemetry.Counter
+	cacheHits *telemetry.Counter
+	cacheMiss *telemetry.Counter
+	stageIn   *telemetry.Histogram
+	execTime  *telemetry.Histogram
+	slotsBusy *telemetry.Gauge
+}
+
+// Instrument registers the worker's (process-aggregate) metric series on
+// reg. A nil registry leaves the worker uninstrumented at zero cost.
+func (w *Worker) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	w.tel = workerTelemetry{
+		tasks: reg.Counter("lobster_wq_worker_tasks_total",
+			"Tasks executed by workers in this process."),
+		failures: reg.Counter("lobster_wq_worker_failures_total",
+			"Tasks that failed locally on workers in this process."),
+		cacheHits: reg.Counter("lobster_wq_worker_cache_hits_total",
+			"Cacheable inputs satisfied from the worker content cache."),
+		cacheMiss: reg.Counter("lobster_wq_worker_cache_misses_total",
+			"Cacheable inputs that had to arrive with data."),
+		stageIn: reg.Histogram("lobster_wq_worker_stage_in_seconds",
+			"Sandbox stage-in time per task.", nil),
+		execTime: reg.Histogram("lobster_wq_worker_exec_seconds",
+			"Executor run time per task.", nil),
+		slotsBusy: reg.Gauge("lobster_wq_worker_slots_busy",
+			"Core slots currently executing tasks across workers in this process."),
+	}
 }
 
 // NewWorker connects a worker to the master at addr. dir is the worker's
@@ -114,11 +155,15 @@ func (w *Worker) run() {
 			// later hash-only reference must decode after the data-bearing
 			// task has populated the cache.
 			hits, misses, decodeErr := decodeInputs(t, w.cache)
+			w.tel.cacheHits.Add(int64(hits))
+			w.tel.cacheMiss.Add(int64(misses))
 			taskWG.Add(1)
 			w.slots <- struct{}{}
 			go func() {
 				defer taskWG.Done()
 				defer func() { <-w.slots }()
+				w.tel.slotsBusy.Add(1)
+				defer w.tel.slotsBusy.Add(-1)
 				res := w.execute(t, hits, misses, decodeErr)
 				if w.evicted.Load() {
 					return // evicted mid-task: never report
@@ -139,9 +184,13 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 	defer func() {
 		res.Stats.Times.Finished = time.Now()
 		w.tasksRun.Add(1)
+		w.tel.tasks.Inc()
 		if res.Failed() {
 			w.tasksFailed.Add(1)
+			w.tel.failures.Inc()
 		}
+		w.tel.stageIn.Observe(res.Stats.StageIn.Seconds())
+		w.tel.execTime.Observe(res.Stats.Exec.Seconds())
 	}()
 
 	fail := func(code int, format string, args ...any) *Result {
