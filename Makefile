@@ -4,7 +4,7 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race bench bench-kernel
+.PHONY: all check vet build test race bench bench-kernel bench-guard
 
 all: check
 
@@ -27,3 +27,8 @@ bench:
 
 bench-kernel:
 	$(GO) test ./internal/simevent/ -run XXX -bench . -benchmem
+
+# Fails if the tracing-disabled Fig 11 benchmark regresses >5% against
+# the BENCH_kernel.json baseline (best-of-3 vs best-of-baseline).
+bench-guard:
+	$(GO) run ./cmd/bench-guard

@@ -1,0 +1,153 @@
+// Command bench-guard reruns the tracing-disabled Figure 11 simulation
+// benchmark and fails if it regressed more than the tolerance against
+// the pinned baseline in BENCH_kernel.json. The guarded path is the one
+// every production run pays: instrumentation compiled in, telemetry and
+// tracing disabled, so the nil no-op fast paths must stay free.
+//
+// Usage (from the module root, or via make bench-guard):
+//
+//	bench-guard                 # compare against BENCH_kernel.json
+//	bench-guard -update         # rewrite the baseline with fresh numbers
+//	bench-guard -tolerance 0.10 # loosen the regression bound
+//
+// Both sides compare by their best (minimum) ns/op: benchmarks on a
+// shared machine are noisy upward, almost never downward, so min-vs-min
+// is the stable comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+const (
+	benchName   = "BenchmarkFig11SimulationTimeline"
+	baselineKey = "instrumented_build_disabled_ns_op"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_kernel.json", "baseline file holding the pinned ns/op samples")
+		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional regression of best ns/op")
+		count     = flag.Int("count", 3, "benchmark repetitions (best of N)")
+		benchtime = flag.String("benchtime", "5x", "go test -benchtime per repetition")
+		update    = flag.Bool("update", false, "rewrite the baseline samples with this run's numbers")
+	)
+	flag.Parse()
+	if err := run(*baseline, *tolerance, *count, *benchtime, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-guard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, tolerance float64, count int, benchtime string, update bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	base, err := baselineSamples(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+
+	fmt.Printf("running %s (disabled instrumentation), %d×%s...\n", benchName, count, benchtime)
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+benchName+"$", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test: %w\n%s", err, out)
+	}
+	fresh := parseNsOp(string(out))
+	if len(fresh) == 0 {
+		return fmt.Errorf("no %s ns/op samples in benchmark output:\n%s", benchName, out)
+	}
+
+	if update {
+		updated, err := rewriteSamples(raw, fresh)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, updated, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s: %s = %v\n", baselinePath, baselineKey, fresh)
+		return nil
+	}
+
+	baseBest, freshBest := min(base), min(fresh)
+	ratio := freshBest / baseBest
+	fmt.Printf("baseline best %.0f ns/op, fresh best %.0f ns/op (%+.1f%%), tolerance %.0f%%\n",
+		baseBest, freshBest, 100*(ratio-1), 100*tolerance)
+	if ratio > 1+tolerance {
+		return fmt.Errorf("disabled-path regression: %.0f ns/op vs baseline %.0f ns/op exceeds %.0f%% bound (fresh samples %v)",
+			freshBest, baseBest, 100*tolerance, fresh)
+	}
+	fmt.Println("ok: disabled path within budget")
+	return nil
+}
+
+// samplesRe matches the pinned sample array wherever it sits in the
+// baseline JSON; a targeted textual edit keeps -update from reordering
+// and reformatting the whole hand-annotated file.
+var samplesRe = regexp.MustCompile(`("` + baselineKey + `":\s*)\[[^\]]*\]`)
+
+func baselineSamples(raw []byte) ([]float64, error) {
+	m := samplesRe.FindSubmatch(raw)
+	if m == nil {
+		return nil, fmt.Errorf("no %q samples found", baselineKey)
+	}
+	inner := string(m[0][len(m[1]):]) // "[a, b, c]"
+	inner = strings.TrimSuffix(strings.TrimPrefix(inner, "["), "]")
+	var out []float64
+	for _, f := range strings.Split(inner, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%q is empty", baselineKey)
+	}
+	return out, nil
+}
+
+func rewriteSamples(raw []byte, fresh []float64) ([]byte, error) {
+	if !samplesRe.Match(raw) {
+		return nil, fmt.Errorf("no %q samples found to update", baselineKey)
+	}
+	strs := make([]string, len(fresh))
+	for i, v := range fresh {
+		strs[i] = strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	repl := "${1}[" + strings.Join(strs, ", ") + "]"
+	return samplesRe.ReplaceAll(raw, []byte(repl)), nil
+}
+
+var benchLineRe = regexp.MustCompile(`(?m)^` + benchName + `\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+func parseNsOp(out string) []float64 {
+	var samples []float64
+	for _, m := range benchLineRe.FindAllStringSubmatch(out, -1) {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			samples = append(samples, v)
+		}
+	}
+	return samples
+}
+
+func min(xs []float64) float64 {
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,177 @@
+// Command lobster-trace is the offline analyzer for the distributed
+// tracing layer: it reads span records from one or more JSONL event
+// logs (written by lobster -trace-log / -event-log, including rotated
+// segments), reassembles the span trees, and prints
+//
+//   - the per-segment runtime breakdown (cf. paper Figure 8), both as
+//     total parallel-inclusive time and as critical-path time — where
+//     end-to-end task latency actually goes;
+//   - a "top offenders" table attributing segment time to span
+//     attribute values (a hot chirp server, a cold squid cache, one
+//     xrootd replica);
+//   - optionally the longest span trees and their critical paths.
+//
+// Usage:
+//
+//	lobster-trace run.jsonl
+//	lobster-trace -top 20 -trees 3 -critical 1 run.jsonl more.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"lobster/internal/tabulate"
+	"lobster/internal/trace"
+)
+
+func main() {
+	var (
+		topN     = flag.Int("top", 12, "offender rows to print (0 disables the table)")
+		nTrees   = flag.Int("trees", 0, "print the N longest span trees")
+		nCrit    = flag.Int("critical", 0, "print the critical path of the N longest traces")
+		minDur   = flag.Float64("min", 0, "ignore traces shorter than this many seconds")
+		maxDepth = flag.Int("depth", 0, "limit printed tree depth (0 = unlimited)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lobster-trace [flags] <event-log.jsonl> [more.jsonl...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *topN, *nTrees, *nCrit, *minDur, *maxDepth); err != nil {
+		fmt.Fprintln(os.Stderr, "lobster-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, topN, nTrees, nCrit int, minDur float64, maxDepth int) error {
+	var recs []trace.Record
+	for _, p := range paths {
+		rs, err := trace.ReadRecordsPath(p)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", p, err)
+		}
+		recs = append(recs, rs...)
+	}
+	trees := trace.BuildTrees(recs)
+	if minDur > 0 {
+		kept := trees[:0]
+		for _, t := range trees {
+			if t.Dur() >= minDur {
+				kept = append(kept, t)
+			}
+		}
+		trees = kept
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("no trace spans found in %s", strings.Join(paths, ", "))
+	}
+
+	b := trace.Analyze(trees)
+	crit := trace.CriticalBreakdown(trees)
+	var critTotal float64
+	for _, v := range crit {
+		critTotal += v
+	}
+	fmt.Printf("%d traces, %d spans (%d orphaned), %.2f s total, %.2f s on critical paths\n",
+		b.Tasks, b.Spans, b.Orphans, b.Total, critTotal)
+
+	// The Fig 8 breakdown: total time answers "what did the fleet spend
+	// cycles on"; critical time answers "what would shortening actually
+	// speed tasks up".
+	tb := tabulate.NewTable("Runtime breakdown (cf. paper Figure 8)",
+		"Task Phase", "Total (s)", "Total (%)", "Critical (s)", "Critical (%)")
+	var labels []string
+	var values []float64
+	for _, seg := range trace.Segments {
+		tot := b.Seconds[seg]
+		cp := crit[seg]
+		if tot == 0 && cp == 0 {
+			continue
+		}
+		tb.Row(seg,
+			fmt.Sprintf("%.2f", tot), pct(tot, b.Total),
+			fmt.Sprintf("%.2f", cp), pct(cp, critTotal))
+		labels = append(labels, seg)
+		values = append(values, tot)
+	}
+	fmt.Println(tb.Render())
+	fmt.Println(tabulate.Bars(labels, values, 48))
+
+	if topN > 0 {
+		offs := trace.Offenders(trees, b, topN)
+		ob := tabulate.NewTable("Top offenders (segment time by span attribute)",
+			"Segment", "Attribute", "Time (s)", "Spans", "Seg share (%)")
+		for _, o := range offs {
+			ob.Row(o.Segment, o.Attr, fmt.Sprintf("%.2f", o.Seconds),
+				fmt.Sprintf("%d", o.Count), fmt.Sprintf("%.1f", o.Share*100))
+		}
+		fmt.Println(ob.Render())
+	}
+
+	if nTrees > 0 || nCrit > 0 {
+		longest := append([]*trace.Tree(nil), trees...)
+		sort.Slice(longest, func(i, j int) bool {
+			if longest[i].Dur() != longest[j].Dur() {
+				return longest[i].Dur() > longest[j].Dur()
+			}
+			return longest[i].TraceID < longest[j].TraceID
+		})
+		for i := 0; i < nTrees && i < len(longest); i++ {
+			t := longest[i]
+			fmt.Printf("\ntrace %s: %d spans, %.3f s\n", t.TraceID, t.Spans, t.Dur())
+			printNode(t.Root, 0, maxDepth)
+		}
+		for i := 0; i < nCrit && i < len(longest); i++ {
+			t := longest[i]
+			fmt.Printf("\ncritical path of trace %s (%.3f s):\n", t.TraceID, t.Dur())
+			for _, step := range trace.CriticalPath(t.Root) {
+				n := step.Node
+				fmt.Printf("  %8.3f s  %s/%s [%s]%s\n",
+					step.Seconds, n.Comp, n.Name, n.Segment, attrSuffix(n))
+			}
+		}
+	}
+	return nil
+}
+
+func pct(v, total float64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*v/total)
+}
+
+func printNode(n *trace.Node, depth, maxDepth int) {
+	if maxDepth > 0 && depth >= maxDepth {
+		return
+	}
+	fmt.Printf("  %s%s/%s %.3fs [%s]%s\n",
+		strings.Repeat("  ", depth), n.Comp, n.Name, n.Dur(), n.Segment, attrSuffix(n))
+	for _, c := range n.Children {
+		printNode(c, depth+1, maxDepth)
+	}
+}
+
+func attrSuffix(n *trace.Node) string {
+	if len(n.Attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + n.Attrs[k]
+	}
+	return " {" + strings.Join(parts, " ") + "}"
+}

@@ -9,8 +9,10 @@
 //
 //	lobster -kind analysis -files 8 -workers 4 -merge interleaved
 //	lobster -kind simulation -events 2000
-//	lobster -http 127.0.0.1:9099 ...        # serve /metrics and /status
-//	lobster -top http://127.0.0.1:9099      # one-shot status of a live run
+//	lobster -http 127.0.0.1:9099 ...            # serve /metrics and /status
+//	lobster -trace-log spans.jsonl ...          # record spans; analyze with lobster-trace
+//	lobster -top http://127.0.0.1:9099          # one-shot status of a live run
+//	lobster -top http://127.0.0.1:9099 -watch   # live bottleneck dashboard
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"lobster/internal/store"
 	"lobster/internal/tabulate"
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 func main() {
@@ -46,18 +49,24 @@ func main() {
 		confPath = flag.String("config", "", "JSON workflow configuration file (overrides the workflow flags)")
 		httpAddr = flag.String("http", "", "serve live telemetry (GET /metrics, /status) on this address")
 		evlog    = flag.String("event-log", "", "append structured JSONL task events to this file")
-		topURL   = flag.String("top", "", "print a one-shot status of the lobster at this base URL and exit")
+		evlogMax = flag.Int64("event-log-max", 0, "rotate the event log after this many bytes (0 = never)")
+		trlog    = flag.String("trace-log", "", "enable distributed tracing; append trace spans to this JSONL file (analyze with lobster-trace)")
+		trRate   = flag.Float64("trace-rate", 0, "head-sampling bound: max new traces sampled per second (0 = all)")
+		topURL   = flag.String("top", "", "print the status of the lobster at this base URL and exit")
+		watch    = flag.Bool("watch", false, "with -top: refresh continuously instead of one-shot")
+		interval = flag.Duration("interval", 2*time.Second, "with -top -watch: refresh interval")
 	)
 	flag.Parse()
 	if *topURL != "" {
-		if err := top(*topURL); err != nil {
+		if err := top(*topURL, *watch, *interval); err != nil {
 			fmt.Fprintln(os.Stderr, "lobster:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if err := run(*kind, *files, *lumis, *events, *workers, *cores, *taskSize,
-		*access, *merge, *mergeMB, *dbdir, *seed, *confPath, *httpAddr, *evlog); err != nil {
+		*access, *merge, *mergeMB, *dbdir, *seed, *confPath, *httpAddr,
+		*evlog, *evlogMax, *trlog, *trRate); err != nil {
 		fmt.Fprintln(os.Stderr, "lobster:", err)
 		os.Exit(1)
 	}
@@ -65,7 +74,7 @@ func main() {
 
 func run(kind string, files, lumis, events, workers, cores, taskSize int,
 	access, merge string, mergeKB float64, dbdir string, seed uint64,
-	confPath, httpAddr, evlogPath string) error {
+	confPath, httpAddr, evlogPath string, evlogMax int64, trlogPath string, trRate float64) error {
 	var cfg core.Config
 	if confPath != "" {
 		var err error
@@ -85,11 +94,24 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 	var evl *telemetry.EventLog
 	if evlogPath != "" {
 		var err error
-		evl, err = telemetry.OpenEventLog(evlogPath, reg.Now)
+		evl, err = telemetry.OpenEventLogLimit(evlogPath, evlogMax, reg.Now)
 		if err != nil {
 			return err
 		}
 		defer evl.Close()
+	}
+	var tracer *trace.Tracer
+	if trlogPath != "" {
+		trl := evl
+		if trlogPath != evlogPath {
+			var err error
+			trl, err = telemetry.OpenEventLogLimit(trlogPath, evlogMax, reg.Now)
+			if err != nil {
+				return err
+			}
+			defer trl.Close()
+		}
+		tracer = trace.New(trace.Config{Registry: reg, Log: trl, MaxTracesPerSec: trRate})
 	}
 	if httpAddr != "" {
 		lis, err := net.Listen("tcp", httpAddr)
@@ -109,6 +131,7 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 		Seed:      seed,
 		Telemetry: reg,
 		EventLog:  evl,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err

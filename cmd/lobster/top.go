@@ -10,28 +10,75 @@ import (
 
 	"lobster/internal/tabulate"
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
-// top fetches /status from a live lobster (started with -http) and prints a
-// one-shot view of every telemetry series, htop-style: gauges and counters
-// with their current value, histograms with count and mean.
-func top(baseURL string) error {
+// top fetches /status from a live lobster (started with -http) and
+// prints a dashboard: build/uptime/sampling header, the per-segment
+// runtime breakdown derived from the stage histograms (the live view of
+// the Figure 8 accounting), and every telemetry series. With watch it
+// redraws every interval until interrupted, htop-style.
+func top(baseURL string, watch bool, interval time.Duration) error {
 	url := strings.TrimRight(baseURL, "/") + "/status"
 	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		st, err := fetchStatus(client, url)
+		if err != nil {
+			return err
+		}
+		out := renderStatus(st)
+		if watch {
+			// Home the cursor and clear below rather than clearing the
+			// whole screen: no flicker between refreshes.
+			fmt.Print("\033[H\033[J")
+		}
+		fmt.Print(out)
+		if !watch {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchStatus(client *http.Client, url string) (*telemetry.Status, error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	var st telemetry.Status
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return fmt.Errorf("decoding %s: %w", url, err)
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &st, nil
+}
+
+func renderStatus(st *telemetry.Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lobster status at t=%.1fs  up %s", st.Time, tabulate.Duration(st.UptimeSec))
+	if st.Go != "" {
+		fmt.Fprintf(&b, "  %s", st.Go)
+	}
+	if len(st.Info) > 0 {
+		keys := make([]string, 0, len(st.Info))
+		for k := range st.Info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s=%s", k, st.Info[k])
+		}
+	}
+	fmt.Fprintf(&b, "  (%d series)\n", len(st.Series))
+
+	if tb := renderSegments(st); tb != "" {
+		b.WriteString(tb)
+		b.WriteByte('\n')
 	}
 
-	fmt.Printf("lobster status at t=%.1fs (%d series)\n", st.Time, len(st.Series))
 	tb := tabulate.NewTable("Telemetry", "series", "type", "value")
 	for _, p := range st.Series {
 		name := p.Name
@@ -55,6 +102,56 @@ func top(baseURL string) error {
 		}
 		tb.Row(name, p.Type, val)
 	}
-	fmt.Println(tb.Render())
-	return nil
+	b.WriteString(tb.Render())
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// renderSegments turns the lobster_task_stage_seconds histograms into
+// the live per-segment breakdown — the same accounting lobster-trace
+// computes offline from span trees (the two reconcile by construction).
+func renderSegments(st *telemetry.Status) string {
+	secs := make(map[string]float64)
+	counts := make(map[string]int64)
+	var total float64
+	for _, p := range st.Series {
+		if p.Name != "lobster_task_stage_seconds" {
+			continue
+		}
+		stage := p.Labels["stage"]
+		secs[stage] += p.Value // histogram Value is the sum
+		counts[stage] += p.Count
+		total += p.Value
+	}
+	if total <= 0 {
+		return ""
+	}
+	tb := tabulate.NewTable("Runtime breakdown (live, cf. paper Figure 8)",
+		"Task Phase", "Time (s)", "Fraction (%)", "Samples")
+	var labels []string
+	var values []float64
+	for _, seg := range trace.Segments {
+		v, ok := secs[seg]
+		if !ok {
+			continue
+		}
+		tb.Row(seg, fmt.Sprintf("%.2f", v), fmt.Sprintf("%.1f", 100*v/total),
+			fmt.Sprintf("%d", counts[seg]))
+		labels = append(labels, seg)
+		values = append(values, v)
+		delete(secs, seg)
+	}
+	// Stages outside the canonical segment list still show up.
+	rest := make([]string, 0, len(secs))
+	for s := range secs {
+		rest = append(rest, s)
+	}
+	sort.Strings(rest)
+	for _, s := range rest {
+		tb.Row(s, fmt.Sprintf("%.2f", secs[s]), fmt.Sprintf("%.1f", 100*secs[s]/total),
+			fmt.Sprintf("%d", counts[s]))
+		labels = append(labels, s)
+		values = append(values, secs[s])
+	}
+	return tb.Render() + "\n" + tabulate.Bars(labels, values, 48)
 }

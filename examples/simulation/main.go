@@ -8,10 +8,16 @@
 // proxy cache statistics (cold-start vs warmed) and the storage-element
 // accounting.
 //
+// The run records a distributed trace of every task (master dispatch →
+// worker → wrapper stages → chirp/squid operations) to a JSONL log;
+// analyze it afterwards with:
+//
 //	go run ./examples/simulation
+//	go run ./cmd/lobster-trace mcprod-trace.jsonl
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,12 +27,31 @@ import (
 	"lobster/internal/hepsim"
 	"lobster/internal/stats"
 	"lobster/internal/tabulate"
+	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 func main() {
+	traceLog := flag.String("trace-log", "mcprod-trace.jsonl",
+		"record task trace spans to this JSONL file (empty disables tracing)")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	var tracer *trace.Tracer
+	if *traceLog != "" {
+		evl, err := telemetry.OpenEventLog(*traceLog, reg.Now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer evl.Close()
+		tracer = trace.New(trace.Config{Registry: reg, Log: evl})
+	}
+
 	stack, err := deploy.Start(deploy.Options{
 		Workers:        3,
 		CoresPerWorker: 4,
+		Telemetry:      reg,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -85,6 +110,10 @@ func main() {
 		total += o.Size
 	}
 	fmt.Printf("outputs: %d files, %s on /store/user/mcprod\n", len(outs), tabulate.Bytes(float64(total)))
+	if *traceLog != "" {
+		fmt.Printf("trace spans in %s — analyze with: go run ./cmd/lobster-trace %s\n",
+			*traceLog, *traceLog)
+	}
 	if !report.Succeeded() {
 		log.Fatalf("%d tasklets failed", report.TaskletsFailed)
 	}

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"lobster/internal/trace"
 )
 
 // Client is a connection to a chirp server. A client is not safe for
@@ -15,8 +17,12 @@ import (
 // server's slot cap is the intended throttle).
 type Client struct {
 	conn net.Conn
+	addr string
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	tracer *trace.Tracer
+	parent trace.Context
 }
 
 // Dial connects to a chirp server.
@@ -30,9 +36,37 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	}
 	return &Client{
 		conn: conn,
+		addr: addr,
 		r:    bufio.NewReaderSize(conn, 64<<10),
 		w:    bufio.NewWriterSize(conn, 64<<10),
 	}, nil
+}
+
+// Trace attaches a tracer and parent context: every subsequent
+// operation records a client-side span (attributed to the server
+// address, so the analyzer can pin slow stage-in to one storage
+// element) and forwards its context to the server on a "trace"
+// protocol line. A nil tracer or invalid parent leaves the client
+// untraced at zero cost.
+func (c *Client) Trace(tr *trace.Tracer, parent trace.Context) {
+	c.tracer = tr
+	c.parent = parent
+}
+
+// op opens the span for one protocol operation and, when sampled,
+// forwards its context so the matching server span chains under it.
+// The trace line carries no response; it rides the same flush as the
+// command that follows.
+func (c *Client) op(name string) *trace.Span {
+	if c.tracer == nil || !c.parent.Valid() {
+		return nil
+	}
+	sp := c.tracer.Start(c.parent, "chirp", name)
+	sp.Attr("server", c.addr)
+	if sp.Sampled() {
+		fmt.Fprintf(c.w, "trace %s\n", sp.Context().Encode())
+	}
+	return sp
 }
 
 // Close sends quit and closes the connection.
@@ -60,6 +94,8 @@ func (c *Client) readStatusLine() (string, error) {
 
 // GetFile fetches the file at path.
 func (c *Client) GetFile(path string) ([]byte, error) {
+	sp := c.op("get")
+	defer sp.End()
 	if err := c.send("getfile %s\n", path); err != nil {
 		return nil, err
 	}
@@ -75,11 +111,15 @@ func (c *Client) GetFile(path string) ([]byte, error) {
 	if _, err := io.ReadFull(c.r, data); err != nil {
 		return nil, fmt.Errorf("chirp: short read: %w", err)
 	}
+	sp.AttrInt("bytes", size)
 	return data, nil
 }
 
 // PutFile creates or replaces the file at path.
 func (c *Client) PutFile(path string, data []byte) error {
+	sp := c.op("put")
+	sp.AttrInt("bytes", int64(len(data)))
+	defer sp.End()
 	if err := c.send("putfile %s %d\n", path, len(data)); err != nil {
 		return err
 	}
@@ -95,6 +135,9 @@ func (c *Client) PutFile(path string, data []byte) error {
 
 // Append appends data to the file at path.
 func (c *Client) Append(path string, data []byte) error {
+	sp := c.op("append")
+	sp.AttrInt("bytes", int64(len(data)))
+	defer sp.End()
 	if err := c.send("append %s %d\n", path, len(data)); err != nil {
 		return err
 	}
@@ -110,6 +153,8 @@ func (c *Client) Append(path string, data []byte) error {
 
 // Stat returns info for the entry at path.
 func (c *Client) Stat(path string) (FileInfo, error) {
+	sp := c.op("stat")
+	defer sp.End()
 	if err := c.send("stat %s\n", path); err != nil {
 		return FileInfo{}, err
 	}
@@ -127,6 +172,8 @@ func (c *Client) Stat(path string) (FileInfo, error) {
 
 // List returns the entries of the directory at path.
 func (c *Client) List(path string) ([]FileInfo, error) {
+	sp := c.op("ls")
+	defer sp.End()
 	if err := c.send("ls %s\n", path); err != nil {
 		return nil, err
 	}
@@ -160,6 +207,8 @@ func (c *Client) List(path string) ([]FileInfo, error) {
 
 // Unlink removes the file at path.
 func (c *Client) Unlink(path string) error {
+	sp := c.op("unlink")
+	defer sp.End()
 	if err := c.send("unlink %s\n", path); err != nil {
 		return err
 	}

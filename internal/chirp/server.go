@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 // Protocol: each request is one text line; commands carrying data follow the
@@ -24,9 +25,12 @@ import (
 //	stat <path>               → "<size> <dir|file>\n" | "-1 <error>\n"
 //	ls <path>                 → "<n>\n" then n lines "<size> <d|f> <name>" | "-1 ..."
 //	unlink <path>             → "0\n" | "-1 <error>\n"
+//	trace <context>           → no response; tags the next command's span
 //	quit                      → closes the connection
 //
-// Error text never contains a newline.
+// Error text never contains a newline. The trace line is advisory: a
+// malformed context is ignored, and servers without a tracer skip it,
+// so old and new clients interoperate in both directions.
 
 // ServerStats is a snapshot of server counters.
 type ServerStats struct {
@@ -59,7 +63,21 @@ type Server struct {
 	in, out atomic.Int64
 	qwait   atomic.Int64 // nanoseconds
 
-	tel serverTelemetry
+	// tel and tracer are installed after the accept loop is already
+	// running, so publication must be atomic.
+	tel    atomic.Pointer[serverTelemetry]
+	tracer atomic.Pointer[trace.Tracer]
+}
+
+// Trace attaches a tracer: requests preceded by a client "trace" line
+// get a server-side span chained under the client's context, so the
+// analyzer can split a slow chirp get into network time (client span
+// minus server span) and service time. Call before traffic; nil leaves
+// the server untraced at zero cost.
+func (s *Server) Trace(tr *trace.Tracer) {
+	if tr != nil {
+		s.tracer.Store(tr)
+	}
 }
 
 // serverTelemetry holds the server's instruments; the zero value is free.
@@ -72,13 +90,25 @@ type serverTelemetry struct {
 	queueWait *telemetry.Histogram
 }
 
+// noTel is the disabled instrument set: every field nil, every call a
+// nil-receiver no-op.
+var noTel serverTelemetry
+
+// telemetry returns the installed instruments, or the free zero set.
+func (s *Server) telemetry() *serverTelemetry {
+	if t := s.tel.Load(); t != nil {
+		return t
+	}
+	return &noTel
+}
+
 // Instrument registers the server's metric series on reg. A nil registry
 // leaves the server uninstrumented at zero cost.
 func (s *Server) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	s.tel = serverTelemetry{
+	s.tel.Store(&serverTelemetry{
 		conns: reg.Counter("lobster_chirp_connections_total",
 			"Connections accepted by the chirp server."),
 		reqs: reg.Counter("lobster_chirp_requests_total",
@@ -91,7 +121,7 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 			"Payload bytes sent (getfile)."),
 		queueWait: reg.Histogram("lobster_chirp_queue_wait_seconds",
 			"Time connections waited for one of the bounded service slots.", nil),
-	}
+	})
 	reg.GaugeFunc("lobster_chirp_active_connections",
 		"Connections holding a service slot right now.",
 		func() float64 { return float64(s.active.Load()) })
@@ -161,7 +191,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		s.conns.Add(1)
-		s.tel.conns.Inc()
+		s.telemetry().conns.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -174,7 +204,7 @@ func (s *Server) acceptLoop() {
 			s.queued.Add(-1)
 			wait := time.Since(start)
 			s.qwait.Add(int64(wait))
-			s.tel.queueWait.Observe(wait.Seconds())
+			s.telemetry().queueWait.Observe(wait.Seconds())
 			s.active.Add(1)
 			defer func() {
 				s.active.Add(-1)
@@ -188,6 +218,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriterSize(conn, 64<<10)
+	var cur trace.Context // context for the next command, set by "trace"
 	for {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -198,13 +229,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			w.Flush()
 			return
 		}
+		if rest, ok := strings.CutPrefix(line, "trace "); ok {
+			// Advisory, no response: a malformed context parses to the
+			// zero value, which simply leaves the next command untraced.
+			cur, _ = trace.Parse(rest)
+			continue
+		}
 		s.reqs.Add(1)
-		s.tel.reqs.Inc()
+		s.telemetry().reqs.Inc()
+		var sp *trace.Span
+		if tr := s.tracer.Load(); tr != nil && cur.Valid() {
+			cmd, _, _ := strings.Cut(line, " ")
+			sp = tr.Start(cur, "chirp_server", cmd)
+		}
+		cur = trace.Context{}
 		if err := s.dispatch(line, r, w); err != nil {
 			s.errs.Add(1)
-			s.tel.errs.Inc()
+			s.telemetry().errs.Inc()
+			sp.Attr("error", sanitizeError(err))
 			fmt.Fprintf(w, "-1 %s\n", sanitizeError(err))
 		}
+		sp.End()
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -235,7 +280,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 			return err
 		}
 		s.out.Add(int64(len(data)))
-		s.tel.bytesOut.Add(int64(len(data)))
+		s.telemetry().bytesOut.Add(int64(len(data)))
 		return nil
 	case "putfile", "append":
 		if len(fields) != 3 {
@@ -250,7 +295,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 			return fmt.Errorf("short payload: %w", err)
 		}
 		s.in.Add(size)
-		s.tel.bytesIn.Add(size)
+		s.telemetry().bytesIn.Add(size)
 		if fields[0] == "putfile" {
 			err = s.fs.WriteFile(fields[1], data)
 		} else {

@@ -35,6 +35,7 @@ func MergeExecutor(chirpAddr string) wq.Executor {
 			return err
 		}
 		defer cl.Close()
+		cl.Trace(ctx.Tracer, ctx.Trace)
 		var merged []byte
 		for _, in := range inputs {
 			data, err := cl.GetFile(in)

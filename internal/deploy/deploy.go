@@ -25,6 +25,7 @@ import (
 	"lobster/internal/squid"
 	"lobster/internal/stats"
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 	"lobster/internal/wq"
 	"lobster/internal/xrootd"
 )
@@ -60,6 +61,11 @@ type Options struct {
 	// EventLog, when set, is handed to core.Services for structured task
 	// event logging.
 	EventLog *telemetry.EventLog
+	// Tracer, when set, threads distributed tracing through the stack:
+	// master dispatch, worker runs, wrapper segments, and the chirp,
+	// squid, and xrootd operations beneath them all join one trace per
+	// task.
+	Tracer *trace.Tracer
 }
 
 // Defaults fills unset fields.
@@ -184,6 +190,7 @@ func Start(opts Options) (*Stack, error) {
 		return nil, err
 	}
 	st.Proxy.Instrument(opts.Telemetry)
+	st.Proxy.Trace(opts.Tracer)
 	proxySrv := httptest.NewServer(st.Proxy)
 	st.closers = append(st.closers, proxySrv.Close)
 
@@ -208,6 +215,7 @@ func Start(opts Options) (*Stack, error) {
 		return nil, err
 	}
 	st.ChirpSrv.Instrument(opts.Telemetry)
+	st.ChirpSrv.Trace(opts.Tracer)
 	st.closers = append(st.closers, func() { st.ChirpSrv.Close() })
 
 	// Worker environment and registry.
@@ -226,6 +234,13 @@ func Start(opts Options) (*Stack, error) {
 		Open: func(lfn string) (hepsim.RemoteFile, error) {
 			return xcl.Open(lfn)
 		},
+		OpenTraced: func(lfn string, tr *trace.Tracer, ctx trace.Context) (hepsim.RemoteFile, error) {
+			// A fresh client per open: xrootd clients carry per-task
+			// trace state and tasks open files concurrently.
+			tcl := &xrootd.Client{Redirector: st.Redirector, Dashboard: st.Dashboard, Consumer: "lobster"}
+			tcl.Trace(tr, ctx)
+			return tcl.Open(lfn)
+		},
 	}
 	st.Registry = wq.Registry{
 		"analysis":   hepsim.Analysis(st.Env),
@@ -239,6 +254,7 @@ func Start(opts Options) (*Stack, error) {
 		return nil, err
 	}
 	master.Instrument(opts.Telemetry)
+	master.Trace(opts.Tracer)
 	st.Services.Master = master
 	st.closers = append(st.closers, func() { master.Close() })
 	for i := 0; i < opts.Workers; i++ {
@@ -263,6 +279,7 @@ func (st *Stack) AddWorker() (*wq.Worker, error) {
 		return nil, fmt.Errorf("deploy: starting %s: %w", name, err)
 	}
 	w.Instrument(st.Options.Telemetry)
+	w.Trace(st.Options.Tracer)
 	st.workers = append(st.workers, w)
 	return w, nil
 }

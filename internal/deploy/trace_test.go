@@ -1,0 +1,90 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lobster/internal/core"
+	"lobster/internal/telemetry"
+	"lobster/internal/trace"
+)
+
+// TestStackTracedEndToEnd runs a real analysis workload with tracing
+// enabled and asserts the full service chain — master dispatch, worker
+// run, wrapper segments, chirp stage-out, squid software fetches, and
+// xrootd data access — records spans under per-task traces, with no
+// span orphaned from its tree.
+func TestStackTracedEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var buf bytes.Buffer
+	log := telemetry.NewEventLog(&buf, nil)
+	tr := trace.New(trace.Config{Registry: reg, Log: log})
+
+	st, err := Start(Options{
+		Files: 2, LumisPerFile: 2, EventsPerFile: 8,
+		Workers: 1, CoresPerWorker: 2,
+		ScratchDir: t.TempDir(),
+		Telemetry:  reg,
+		Tracer:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	l, err := core.New(core.Config{
+		Name: "traced", Kind: core.KindAnalysis, Dataset: st.Dataset.Name,
+		EventSize: st.EventSize(),
+	}, st.Services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetResultTimeout(time.Minute)
+	rep, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := trace.BuildTrees(recs)
+	if len(trees) == 0 {
+		t.Fatal("no traces recorded")
+	}
+
+	// Count component coverage across all traces; each trace must be
+	// internally consistent (single trace ID, no orphans).
+	comps := map[string]int{}
+	for _, tree := range trees {
+		if tree.Orphans != 0 {
+			t.Errorf("trace %s: %d orphan spans", tree.TraceID, tree.Orphans)
+		}
+		var visit func(nd *trace.Node)
+		visit = func(nd *trace.Node) {
+			if nd.Trace != tree.TraceID {
+				t.Fatalf("span %s: trace %s, want %s", nd.Span, nd.Trace, tree.TraceID)
+			}
+			comps[nd.Comp]++
+			for _, c := range nd.Children {
+				visit(c)
+			}
+		}
+		visit(tree.Root)
+	}
+	for _, comp := range []string{
+		"master", "worker", "wrapper", "chirp", "chirp_server", "squid", "xrootd",
+	} {
+		if comps[comp] == 0 {
+			t.Errorf("no %q spans recorded (coverage: %v)", comp, comps)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"lobster/internal/frontier"
 	"lobster/internal/parrot"
 	"lobster/internal/stats"
+	"lobster/internal/trace"
 	"lobster/internal/wq"
 	"lobster/internal/wrapper"
 )
@@ -35,6 +36,11 @@ type Env struct {
 	// Open streams an input LFN (nil disables xrootd access). It returns a
 	// reader-like handle; see OpenFunc.
 	Open OpenFunc
+	// OpenTraced, when set, is preferred over Open and receives the
+	// task's tracer and the current segment's span context, so the
+	// data-access client can chain its spans (replica choice, bytes)
+	// under the task trace.
+	OpenTraced func(lfn string, tr *trace.Tracer, ctx trace.Context) (RemoteFile, error)
 	// ChirpAddr is the storage-element chirp server for outputs (and
 	// pile-up inputs for simulation).
 	ChirpAddr string
@@ -54,6 +60,17 @@ type RemoteFile interface {
 	Size() int64
 	ReadAt(p []byte, off int64) (int, error)
 	Close() error
+}
+
+// open resolves an LFN via OpenTraced when available, else Open.
+func (e *Env) open(lfn string, c *wrapper.StepContext) (RemoteFile, error) {
+	if e.OpenTraced != nil {
+		return e.OpenTraced(lfn, c.Tracer, c.Trace)
+	}
+	if e.Open != nil {
+		return e.Open(lfn)
+	}
+	return nil, fmt.Errorf("no data access configured")
 }
 
 // Args understood by the executors (all optional unless stated):
@@ -97,7 +114,7 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 		events  int
 		delayMS = argInt(args, "delay_ms", 0)
 	)
-	rep := wrapper.Run(
+	rep := wrapper.RunTraced(ctx.Tracer, ctx.Trace,
 		wrapper.Step{Segment: wrapper.SegEnvInit, Run: func(c *wrapper.StepContext) error {
 			sleepMS(delayMS)
 			var err error
@@ -120,7 +137,8 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 			if err != nil {
 				return err
 			}
-			mount, err = parrot.NewMount(env.ProxyURL, env.Repo, inst, env.HTTPClient)
+			mount, err = parrot.NewMount(env.ProxyURL, env.Repo, inst,
+				trace.WrapClient(env.HTTPClient, c.Trace))
 			if err != nil {
 				return err
 			}
@@ -138,7 +156,7 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 				return nil
 			}
 			run := argInt(args, "run", 1)
-			cl := &frontier.Client{Base: env.ProxyURL, Client: env.HTTPClient}
+			cl := &frontier.Client{Base: env.ProxyURL, Client: trace.WrapClient(env.HTTPClient, c.Trace)}
 			p, err := cl.Fetch(env.ConditionsTag, run)
 			if err != nil {
 				return err
@@ -151,10 +169,7 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 			if lfn == "" {
 				return fmt.Errorf("analysis task needs an lfn")
 			}
-			if env.Open == nil {
-				return fmt.Errorf("no data access configured")
-			}
-			f, err := env.Open(lfn)
+			f, err := env.open(lfn, c)
 			if err != nil {
 				return err
 			}
@@ -201,6 +216,7 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 				return err
 			}
 			defer cl.Close()
+			cl.Trace(c.Tracer, c.Trace)
 			if err := cl.PutFile(out, output); err != nil {
 				return err
 			}
@@ -284,7 +300,7 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 		signal []byte
 		output []byte
 	)
-	return wrapper.Run(
+	return wrapper.RunTraced(ctx.Tracer, ctx.Trace,
 		wrapper.Step{Segment: wrapper.SegEnvInit, Run: func(c *wrapper.StepContext) error {
 			var err error
 			kernel, err = NewKernel(argInt(args, "event_size", DefaultEventSize), argInt(args, "work", 1))
@@ -298,7 +314,8 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 			if err != nil {
 				return err
 			}
-			mount, err := parrot.NewMount(env.ProxyURL, env.Repo, inst, env.HTTPClient)
+			mount, err := parrot.NewMount(env.ProxyURL, env.Repo, inst,
+				trace.WrapClient(env.HTTPClient, c.Trace))
 			if err != nil {
 				return err
 			}
@@ -321,6 +338,7 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 				return err
 			}
 			defer cl.Close()
+			cl.Trace(c.Tracer, c.Trace)
 			pileup, err = cl.GetFile(pu)
 			if err != nil {
 				return err
@@ -355,6 +373,7 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 				return err
 			}
 			defer cl.Close()
+			cl.Trace(c.Tracer, c.Trace)
 			if err := cl.PutFile(out, output); err != nil {
 				return err
 			}

@@ -15,7 +15,21 @@ import (
 // replayed.
 func (m *Monitor) ReplayLog(r io.Reader) (int, error) {
 	n := 0
-	err := telemetry.ReadEvents(r, func(ev telemetry.Event) error {
+	err := telemetry.ReadEvents(r, m.replayEvent(&n))
+	return n, err
+}
+
+// ReplayLogPath is ReplayLog for a log file on disk, replaying any
+// rotated segments (<path>.000001, …) before the live file so a
+// size-capped log restores the full task history in write order.
+func (m *Monitor) ReplayLogPath(path string) (int, error) {
+	n := 0
+	err := telemetry.ReadEventsPath(path, m.replayEvent(&n))
+	return n, err
+}
+
+func (m *Monitor) replayEvent(n *int) func(telemetry.Event) error {
+	return func(ev telemetry.Event) error {
 		if ev.Type != "task" {
 			return nil
 		}
@@ -24,8 +38,7 @@ func (m *Monitor) ReplayLog(r io.Reader) (int, error) {
 			return fmt.Errorf("monitor: replaying task event: %w", err)
 		}
 		m.Add(rec)
-		n++
+		*n++
 		return nil
-	})
-	return n, err
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
@@ -61,6 +62,44 @@ func TestReplayLogEquivalence(t *testing.T) {
 	fb, _ := rebuilt.FailureCodes(0, 60, 10)
 	if !reflect.DeepEqual(fa, fb) {
 		t.Errorf("failure codes differ: live=%v rebuilt=%v", fa, fb)
+	}
+}
+
+// TestReplayLogPathRotated replays a size-capped, rotated on-disk log
+// and checks the rebuilt DB holds every record across all segments.
+func TestReplayLogPathRotated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := telemetry.OpenEventLogLimit(path, 512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := New()
+	for i := 0; i < 60; i++ {
+		rec := TaskRecord{
+			TaskID: int64(i + 1), Kind: "analysis",
+			Submit: float64(i), Start: float64(i) + 1, Finish: float64(i) + 10,
+			CPUTime: 5,
+		}
+		live.Add(rec)
+		log.Emit("task", rec)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if files, err := telemetry.EventFiles(path); err != nil || len(files) < 2 {
+		t.Fatalf("expected a rotated log, got %v (%v)", files, err)
+	}
+
+	rebuilt := New()
+	n, err := rebuilt.ReplayLogPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("replayed %d records, want 60", n)
+	}
+	if !reflect.DeepEqual(live.Records(), rebuilt.Records()) {
+		t.Error("replayed records differ from live records")
 	}
 }
 

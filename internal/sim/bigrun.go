@@ -8,6 +8,7 @@ import (
 	"lobster/internal/simevent"
 	"lobster/internal/stats"
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 // BigRunConfig describes an at-scale production run: the 10k-core data
@@ -58,6 +59,15 @@ type BigRunConfig struct {
 	// Instrumentation never touches the RNG, so results are bit-identical
 	// with or without it.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, records one span tree per task attempt on the
+	// simulated clock: a "task" root with dispatch/setup/stage_in/
+	// execute/stage_out children whose intervals are exactly the stage
+	// durations observed into the Telemetry histograms. Like Telemetry,
+	// tracing never touches the RNG, so results are bit-identical with
+	// or without it. For rate-limited sampling the tracer should share
+	// the sim-clocked registry, so the token bucket refills in
+	// simulation time.
+	Tracer *trace.Tracer
 }
 
 // Exit codes used by the big-run model, matching the wrapper's segment
@@ -328,12 +338,26 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 			Dispatch: start,
 			Requeues: pool.attempts[taskID],
 		}
+		// One span tree per attempt; segment spans are emitted
+		// retroactively at the points the stage durations are observed,
+		// so trace-derived breakdowns reconcile exactly with the
+		// lobster_task_stage_seconds histograms.
+		root := cfg.Tracer.RootAt(start, "sim", "task", cfg.Name)
+		root.AttrInt("task_id", int64(taskID))
+		root.AttrInt("attempt", int64(pool.attempts[taskID]))
+		rctx := root.Context()
+		segAt := func(at float64, name string) {
+			sp := cfg.Tracer.StartAt(at, rctx, "sim", name)
+			sp.EndAt(p.Now())
+		}
 		fail := func(code int, setup, io, stageOut float64) {
 			*running--
 			if pool.requeue(taskID) {
 				tel.requeues.Inc()
 			}
 			publish()
+			root.AttrInt("exit_code", int64(code))
+			root.EndAt(p.Now())
 			if code == ExitEvicted && p.Now() >= cfg.Duration-1 {
 				// End-of-window cancellation, not a real failure: the run
 				// simply stopped with this task in flight.
@@ -360,6 +384,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		rec.WQStageIn = dispatch
 		rec.Start = p.Now()
 		tel.tracer.Observe(telemetry.StageDispatch, dispatch)
+		segAt(start, "dispatch")
 
 		// Software setup through the proxy layer. The first task of a life
 		// fills the cold cache; its slot-mates wait on the shared cache.
@@ -398,6 +423,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		}
 		setup := p.Now() - setupStart
 		tel.tracer.Observe(telemetry.StageSetup, setup)
+		segAt(setupStart, "setup")
 		if cfg.SetupTimeout > 0 && setup > cfg.SetupTimeout &&
 			rng.Float64() < cfg.SetupTimeoutFailProb {
 			fail(ExitSetupTimeout, setup, 0, 0)
@@ -449,6 +475,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		io := p.Now() - ioStart
 		rec.IOTime = io
 		tel.tracer.Observe(telemetry.StageStageIn, io)
+		segAt(ioStart, "stage_in")
 
 		// Transient application failure.
 		if rng.Float64() < cfg.MiscFailProb {
@@ -464,6 +491,7 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		}
 		rec.CPUTime = cpu
 		tel.tracer.Observe(telemetry.StageExecute, cpu)
+		segAt(p.Now()-cpu, "execute")
 
 		// Stage-out through the chirp connection cap.
 		outStart := p.Now()
@@ -485,9 +513,13 @@ func runCoreSlot(p *simevent.Proc, cfg *BigRunConfig, life *workerLife,
 		tel.chirpBytesIn.Add(int64(cfg.OutputBytes))
 		rec.StageOut = p.Now() - outStart
 		tel.tracer.Observe(telemetry.StageStageOut, rec.StageOut)
+		segAt(outStart, "stage_out")
 		// Result collection by the loaded master (the paper's "time spent
 		// waiting for responses").
 		rec.WQStageOut = stats.Gaussian{Mu: 100, Sigma: 30, Floor: 5}.Sample(rng)
+
+		root.AttrInt("exit_code", 0)
+		root.EndAt(p.Now())
 
 		*running--
 		rec.Finish = p.Now()

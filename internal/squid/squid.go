@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 // Stats is a snapshot of proxy counters.
@@ -72,7 +73,20 @@ type Proxy struct {
 	inflight map[string]*fetch
 	stats    Stats
 
-	tel proxyTelemetry
+	tel    proxyTelemetry
+	tracer *trace.Tracer
+}
+
+// Trace attaches a tracer: requests carrying a Lobster-Trace header get
+// a span recording the cache outcome (hit, miss, or coalesced), and
+// origin fetches get a child span whose context is forwarded in the
+// outgoing header — so chained proxies and the origin server extend the
+// same trace. Call before traffic; nil leaves the proxy untraced at
+// zero cost.
+func (p *Proxy) Trace(tr *trace.Tracer) {
+	if tr != nil {
+		p.tracer = tr
+	}
 }
 
 // proxyTelemetry holds the proxy's instruments; the zero value is free.
@@ -192,12 +206,20 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		key += "?" + r.URL.RawQuery
 	}
-	ent, hit, err := p.get(key)
+	ctx, _ := trace.FromHTTP(r.Header)
+	var sp *trace.Span
+	if p.tracer != nil && ctx.Valid() {
+		sp = p.tracer.Start(ctx, "squid", "proxy_get")
+		sp.Attr("key", key)
+	}
+	ent, outcome, err := p.get(key, ctx, sp.Context())
 	if err != nil {
 		p.mu.Lock()
 		p.stats.OriginErrors++
 		p.mu.Unlock()
 		p.tel.originErrors.Inc()
+		sp.Attr("error", err.Error())
+		sp.End()
 		http.Error(w, "squid: origin fetch failed: "+err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -207,11 +229,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			h.Add(k, v)
 		}
 	}
-	if hit {
+	if outcome == outcomeHit {
 		h.Set("X-Cache", "HIT")
 	} else {
 		h.Set("X-Cache", "MISS")
 	}
+	sp.Attr("outcome", outcome)
+	sp.AttrInt("bytes", int64(len(ent.body)))
+	sp.End()
 	p.mu.Lock()
 	p.stats.BytesServed += int64(len(ent.body))
 	p.mu.Unlock()
@@ -219,9 +244,21 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Write(ent.body)
 }
 
-// get returns the entry for key, fetching from origin on a miss. The hit
-// result reports whether the entry came from cache.
-func (p *Proxy) get(key string) (*entry, bool, error) {
+// Cache outcomes reported by get; they become span attributes so the
+// trace analyzer can tell a hot cache from a cold-start wave.
+const (
+	outcomeHit       = "hit"
+	outcomeMiss      = "miss"
+	outcomeCoalesced = "coalesced"
+)
+
+// get returns the entry for key, fetching from origin on a miss.
+// wireCtx is the trace context from the client's request header and
+// spanCtx the proxy's own span context (invalid when untraced); the
+// origin fetch chains under spanCtx when possible, falling back to
+// forwarding wireCtx unchanged so a proxy without a tracer still
+// relays the chain.
+func (p *Proxy) get(key string, wireCtx, spanCtx trace.Context) (*entry, string, error) {
 	p.mu.Lock()
 	if el, ok := p.items[key]; ok {
 		p.lru.MoveToFront(el)
@@ -229,7 +266,7 @@ func (p *Proxy) get(key string) (*entry, bool, error) {
 		ent := el.Value.(*entry)
 		p.mu.Unlock()
 		p.tel.hits.Inc()
-		return ent, true, nil
+		return ent, outcomeHit, nil
 	}
 	// Coalesce with an in-flight fetch if one exists.
 	if f, ok := p.inflight[key]; ok {
@@ -238,9 +275,9 @@ func (p *Proxy) get(key string) (*entry, bool, error) {
 		p.tel.coalesced.Inc()
 		<-f.done
 		if f.err != nil {
-			return nil, false, f.err
+			return nil, outcomeCoalesced, f.err
 		}
-		return f.ent, false, nil
+		return f.ent, outcomeCoalesced, nil
 	}
 	f := &fetch{done: make(chan struct{})}
 	p.inflight[key] = f
@@ -248,7 +285,7 @@ func (p *Proxy) get(key string) (*entry, bool, error) {
 	p.mu.Unlock()
 	p.tel.misses.Inc()
 
-	f.ent, f.err = p.fetchOrigin(key)
+	f.ent, f.err = p.fetchOrigin(key, wireCtx, spanCtx)
 	p.mu.Lock()
 	delete(p.inflight, key)
 	if f.err == nil && cacheable(f.ent.hdr) {
@@ -257,9 +294,9 @@ func (p *Proxy) get(key string) (*entry, bool, error) {
 	p.mu.Unlock()
 	close(f.done)
 	if f.err != nil {
-		return nil, false, f.err
+		return nil, outcomeMiss, f.err
 	}
-	return f.ent, false, nil
+	return f.ent, outcomeMiss, nil
 }
 
 // cacheable reports whether the response headers permit caching.
@@ -294,8 +331,9 @@ func (p *Proxy) insertLocked(ent *entry) {
 	p.used += size
 }
 
-// fetchOrigin performs the bounded origin request.
-func (p *Proxy) fetchOrigin(key string) (*entry, error) {
+// fetchOrigin performs the bounded origin request, propagating the
+// trace context so a chained upstream proxy extends the same trace.
+func (p *Proxy) fetchOrigin(key string, wireCtx, spanCtx trace.Context) (*entry, error) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	u := *p.origin
@@ -305,7 +343,20 @@ func (p *Proxy) fetchOrigin(key string) (*entry, error) {
 	} else {
 		u.Path = key
 	}
-	resp, err := p.client.Get(u.String())
+	var sp *trace.Span
+	if p.tracer != nil && spanCtx.Valid() {
+		sp = p.tracer.Start(spanCtx, "squid", "origin")
+		sp.Attr("origin", p.origin.Host)
+	}
+	defer sp.End()
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	// Chain under the local span, or relay the client's context when
+	// this proxy is untraced in an otherwise traced stack.
+	sp.Context().OrElse(wireCtx).SetHTTP(req.Header)
+	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -328,5 +379,6 @@ func (p *Proxy) fetchOrigin(key string) (*entry, error) {
 	p.stats.BytesFetched += int64(len(body))
 	p.mu.Unlock()
 	p.tel.bytesFetched.Add(int64(len(body)))
+	sp.AttrInt("bytes", int64(len(body)))
 	return &entry{key: key, body: body, hdr: hdr}, nil
 }

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEventLogRotation drives a size-capped log past several caps and
+// checks that every event survives, split across segments that replay
+// in write order.
+func TestEventLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+
+	// Each event line is ~55 bytes; a 200-byte cap forces a rotation
+	// every handful of events.
+	l, err := OpenEventLogLimit(path, 200, func() float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 40
+	for i := 0; i < total; i++ {
+		l.Emit("task", map[string]int{"seq": i})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := EventFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected several segments, got %v", files)
+	}
+	// No single file exceeds cap + one event line of slack.
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() > 200+100 {
+			t.Fatalf("%s is %d bytes, over the cap", f, st.Size())
+		}
+	}
+
+	// Replay sees every event once, in emit order.
+	next := 0
+	err = ReadEventsPath(path, func(ev Event) error {
+		var data map[string]int
+		if err := json.Unmarshal(ev.Data, &data); err != nil {
+			return err
+		}
+		if data["seq"] != next {
+			return fmt.Errorf("event %d out of order (got seq %d)", next, data["seq"])
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != total {
+		t.Fatalf("replayed %d events, want %d", next, total)
+	}
+}
+
+// TestEventLogRotationResume reopens a rotated log and checks the
+// segment sequence continues instead of overwriting old segments.
+func TestEventLogRotationResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+
+	for round := 0; round < 2; round++ {
+		l, err := OpenEventLogLimit(path, 150, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			l.Emit("task", map[string]int{"round": round, "seq": i})
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	count := 0
+	if err := ReadEventsPath(path, func(Event) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Fatalf("replayed %d events across restarts, want 20", count)
+	}
+}
+
+// TestOpenEventLogUncapped keeps the legacy single-file behaviour.
+func TestOpenEventLogUncapped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	l, err := OpenEventLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		l.Emit("task", map[string]int{"seq": i})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := EventFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("uncapped log rotated: %v", files)
+	}
+}
+
+func TestEventFilesMissing(t *testing.T) {
+	if _, err := EventFiles(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("EventFiles on a missing log succeeded")
+	}
+}
+
+// TestReadEventsTornTail checks the crash-recovery contract: a truncated
+// final line (what a crash or a concurrent reader sees mid-flush) is
+// skipped, while corruption followed by more events stays fatal.
+func TestReadEventsTornTail(t *testing.T) {
+	const good = `{"t":1,"type":"task","data":{}}`
+	count := func(stream string) (int, error) {
+		n := 0
+		err := ReadEvents(strings.NewReader(stream), func(Event) error {
+			n++
+			return nil
+		})
+		return n, err
+	}
+	n, err := count(good + "\n" + good + "\n" + `{"t":2,"type":"tr`)
+	if err != nil || n != 2 {
+		t.Fatalf("torn tail: got %d events, err %v; want 2, nil", n, err)
+	}
+	n, err = count(good + "\n" + good + "\n" + `{"t":2,"type":"tr` + "\n\n")
+	if err != nil || n != 2 {
+		t.Fatalf("torn tail + blanks: got %d events, err %v; want 2, nil", n, err)
+	}
+	if _, err = count(good + "\n" + `{"t":2,"type":"tr` + "\n" + good + "\n"); err == nil {
+		t.Fatal("mid-stream corruption did not abort")
+	}
+}

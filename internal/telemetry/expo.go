@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // This file is the live status plane: Prometheus text exposition
@@ -121,10 +123,16 @@ type SeriesPoint struct {
 	Mean   float64           `json:"mean,omitempty"`
 }
 
-// Status is the full /status document.
+// Status is the full /status document. Time is on the registry clock
+// (simulated seconds under the simulator); UptimeSec is always wall
+// time since the registry was created, so `lobster -top` can show how
+// long the process has been up on either plane.
 type Status struct {
-	Time   float64       `json:"time"`
-	Series []SeriesPoint `json:"series"`
+	Time      float64           `json:"time"`
+	UptimeSec float64           `json:"uptime_sec"`
+	Go        string            `json:"go,omitempty"`
+	Info      map[string]string `json:"info,omitempty"`
+	Series    []SeriesPoint     `json:"series"`
 }
 
 // Snapshot captures every series at one instant.
@@ -133,6 +141,11 @@ func (r *Registry) Snapshot() Status {
 	if r == nil {
 		return st
 	}
+	r.mu.Lock()
+	st.UptimeSec = time.Since(r.epoch).Seconds()
+	r.mu.Unlock()
+	st.Go = runtime.Version()
+	st.Info = r.Info()
 	for _, f := range r.sortedFamilies() {
 		f.mu.Lock()
 		if f.kind == kindGaugeFunc {

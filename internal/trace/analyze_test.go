@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lobster/internal/telemetry"
+)
+
+func rec(trace, span, parent, comp, name string, start, end float64, attrs map[string]string) Record {
+	return Record{Trace: trace, Span: span, Parent: parent, Comp: comp, Name: name,
+		Start: start, End: end, Attrs: attrs}
+}
+
+// oneTask is a canonical task trace: dispatch, stage_in (with a chirp
+// transfer underneath), setup, execute, all under one root.
+func oneTask() []Record {
+	return []Record{
+		rec("t1", "r", "", "master", "task", 0, 10, nil),
+		rec("t1", "d", "r", "master", "dispatch", 0, 1, nil),
+		rec("t1", "si", "r", "worker", "stage_in", 1, 4, nil),
+		rec("t1", "ch", "si", "chirp", "get", 1.5, 3.5, map[string]string{"server": "se01:9094"}),
+		rec("t1", "su", "r", "worker", "setup", 4, 6, nil),
+		rec("t1", "ex", "r", "worker", "execute", 6, 10, nil),
+	}
+}
+
+func TestBuildTreesAndBreakdown(t *testing.T) {
+	trees := BuildTrees(oneTask())
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	tr := trees[0]
+	if tr.Root.Name != "task" || tr.Spans != 6 || tr.Orphans != 0 {
+		t.Fatalf("tree: root=%q spans=%d orphans=%d", tr.Root.Name, tr.Spans, tr.Orphans)
+	}
+	// The chirp transfer inherits its parent's segment.
+	var chirpSeg string
+	for _, c := range tr.Root.Children {
+		if c.Name == "stage_in" && len(c.Children) == 1 {
+			chirpSeg = c.Children[0].Segment
+		}
+	}
+	if chirpSeg != "stage_in" {
+		t.Fatalf("chirp segment = %q, want stage_in", chirpSeg)
+	}
+
+	b := Analyze(trees)
+	want := map[string]float64{"dispatch": 1, "stage_in": 3, "setup": 2, "execute": 4, "overhead": 0}
+	for seg, w := range want {
+		if got := b.Seconds[seg]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("segment %s = %g, want %g", seg, got, w)
+		}
+	}
+	if math.Abs(b.Total-10) > 1e-9 || b.Tasks != 1 {
+		t.Fatalf("total=%g tasks=%d", b.Total, b.Tasks)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	trees := BuildTrees(oneTask())
+	steps := CriticalPath(trees[0].Root)
+	sum := 0.0
+	byName := map[string]float64{}
+	for _, s := range steps {
+		sum += s.Seconds
+		byName[s.Node.Name] += s.Seconds
+	}
+	if math.Abs(sum-10) > 1e-9 {
+		t.Fatalf("critical path sums to %g, want root duration 10", sum)
+	}
+	// The chirp transfer gates 2s of the stage_in window; stage_in
+	// itself only the 1s not covered by it.
+	if math.Abs(byName["get"]-2) > 1e-9 || math.Abs(byName["stage_in"]-1) > 1e-9 {
+		t.Fatalf("gating wrong: %v", byName)
+	}
+	cb := CriticalBreakdown(trees)
+	if math.Abs(cb["stage_in"]-3) > 1e-9 || math.Abs(cb["execute"]-4) > 1e-9 {
+		t.Fatalf("critical breakdown wrong: %v", cb)
+	}
+}
+
+func TestOffenders(t *testing.T) {
+	recs := oneTask()
+	// A second task whose chirp time goes to a different server.
+	recs = append(recs,
+		rec("t2", "r2", "", "master", "task", 0, 8, nil),
+		rec("t2", "si2", "r2", "worker", "stage_in", 0, 6, nil),
+		rec("t2", "ch2", "si2", "chirp", "get", 0, 6, map[string]string{"server": "se02:9094"}),
+	)
+	trees := BuildTrees(recs)
+	b := Analyze(trees)
+	off := Offenders(trees, b, 10)
+	if len(off) != 2 {
+		t.Fatalf("got %d offenders: %+v", len(off), off)
+	}
+	top := off[0]
+	if top.Attr != "server=se02:9094" || top.Segment != "stage_in" || math.Abs(top.Seconds-6) > 1e-9 {
+		t.Fatalf("top offender: %+v", top)
+	}
+	// se02 carries 6 of the 9 stage_in seconds.
+	if math.Abs(top.Share-6.0/9.0) > 1e-9 {
+		t.Fatalf("share = %g", top.Share)
+	}
+}
+
+func TestOrphanGrafting(t *testing.T) {
+	recs := []Record{
+		rec("t1", "r", "", "master", "task", 0, 10, nil),
+		rec("t1", "lost", "nonexistent", "chirp", "get", 2, 4, nil),
+	}
+	trees := BuildTrees(recs)
+	if len(trees) != 1 || trees[0].Orphans != 1 {
+		t.Fatalf("orphans = %+v", trees)
+	}
+	if len(trees[0].Root.Children) != 1 || trees[0].Root.Children[0].Name != "get" {
+		t.Fatal("orphan not grafted under root")
+	}
+}
+
+func TestCycleTolerance(t *testing.T) {
+	recs := []Record{
+		rec("t1", "a", "b", "x", "task", 0, 4, nil),
+		rec("t1", "b", "a", "x", "execute", 1, 3, nil),
+	}
+	trees := BuildTrees(recs) // must terminate
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	tr := trees[0]
+	if tr.Root.Span != "a" || tr.Orphans == 0 {
+		t.Fatalf("cycle handling: root=%s orphans=%d", tr.Root.Span, tr.Orphans)
+	}
+	// Analysis still runs without recursion blowups.
+	_ = Analyze(trees)
+	_ = CriticalPath(tr.Root)
+}
+
+func TestReadRecordsSkipsOtherEvents(t *testing.T) {
+	var buf bytes.Buffer
+	log := telemetry.NewEventLog(&buf, nil)
+	log.Emit("task", map[string]int{"id": 1})
+	log.Emit(EventType, &Record{Trace: "t", Span: "s", Comp: "c", Name: "n", Start: 1, End: 2})
+	log.Emit("span", map[string]int{"span_id": 2})
+	log.Flush()
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Span != "s" {
+		t.Fatalf("records: %+v", recs)
+	}
+}

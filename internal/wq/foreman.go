@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 // Foreman sits between a master and a set of workers: upstream it looks
@@ -26,13 +27,37 @@ type Foreman struct {
 	cache    *contentCache
 
 	mu      sync.Mutex
-	idMap   map[int64]int64 // downstream ID → upstream ID
+	idMap   map[int64]relayEntry // downstream ID → upstream identity
 	relayed atomic.Int64
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 
-	telRelayed *telemetry.Counter
-	telErrors  *telemetry.Counter
+	// telRelayed/telErrors/tracer are installed after the relay loops
+	// are already running, so publication must be atomic (nil loads are
+	// free: counter and tracer methods are nil-receiver no-ops).
+	telRelayed atomic.Pointer[telemetry.Counter]
+	telErrors  atomic.Pointer[telemetry.Counter]
+	tracer     atomic.Pointer[trace.Tracer]
+}
+
+// relayEntry tracks one task in flight through the foreman: the ID it
+// carries upstream and the relay span open while it is downstream.
+type relayEntry struct {
+	upID int64
+	span *trace.Span
+}
+
+// Trace attaches a tracer: each relayed task gets a "relay" span
+// chained under the master's dispatch context, re-stamped into the
+// task so the downstream master and workers chain under the foreman
+// hop. The internal downstream master is traced with the same tracer.
+// Call before traffic; nil leaves the foreman untraced at zero cost.
+func (f *Foreman) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	f.tracer.Store(tr)
+	f.down.Trace(tr)
 }
 
 // Instrument registers the foreman's (process-aggregate) metric series on
@@ -41,10 +66,10 @@ func (f *Foreman) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	f.telRelayed = reg.Counter("lobster_wq_foreman_relayed_total",
-		"Results relayed upstream by foremen in this process.")
-	f.telErrors = reg.Counter("lobster_wq_foreman_errors_total",
-		"Tasks a foreman failed locally (cache or downstream submit errors).")
+	f.telRelayed.Store(reg.Counter("lobster_wq_foreman_relayed_total",
+		"Results relayed upstream by foremen in this process."))
+	f.telErrors.Store(reg.Counter("lobster_wq_foreman_errors_total",
+		"Tasks a foreman failed locally (cache or downstream submit errors)."))
 	reg.GaugeFunc("lobster_wq_foreman_inflight",
 		"Tasks accepted by foremen and not yet relayed upstream.",
 		func() float64 {
@@ -75,7 +100,7 @@ func NewForeman(upstreamAddr, listenAddr, name string, cores int) (*Foreman, err
 		upstream: newConn(raw),
 		down:     down,
 		cache:    newContentCache(),
-		idMap:    make(map[int64]int64),
+		idMap:    make(map[int64]relayEntry),
 	}
 	if err := f.upstream.send(&message{Type: "hello", Name: name, Cores: cores}); err != nil {
 		f.Close()
@@ -126,10 +151,22 @@ func (f *Foreman) taskLoop() {
 			}
 			t := msg.Task
 			upstreamID := t.ID
+			// The relay span chains under the master's dispatch context
+			// and is re-stamped into the task, so the downstream
+			// master's own spans nest under this foreman hop.
+			var span *trace.Span
+			if tr := f.tracer.Load(); tr != nil {
+				wireCtx, _ := trace.Parse(t.Trace)
+				span = tr.Start(wireCtx, "foreman", "relay")
+				span.Attr("foreman", f.name)
+				t.Trace = span.Context().Encode()
+			}
 			// Materialise stripped cacheable inputs from the foreman cache
 			// so they can be re-encoded per downstream connection.
 			if _, _, err := decodeInputs(t, f.cache); err != nil {
-				f.telErrors.Inc()
+				f.telErrors.Load().Inc()
+				span.Attr("error", "cache")
+				span.End()
 				f.upstream.send(&message{Type: "result", Result: &Result{
 					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
 					ExitCode: 170, Error: fmt.Sprintf("foreman cache: %v", err),
@@ -138,7 +175,9 @@ func (f *Foreman) taskLoop() {
 			}
 			downID, err := f.down.Submit(t)
 			if err != nil {
-				f.telErrors.Inc()
+				f.telErrors.Load().Inc()
+				span.Attr("error", "submit")
+				span.End()
 				f.upstream.send(&message{Type: "result", Result: &Result{
 					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
 					ExitCode: 170, Error: fmt.Sprintf("foreman submit: %v", err),
@@ -146,7 +185,7 @@ func (f *Foreman) taskLoop() {
 				continue
 			}
 			f.mu.Lock()
-			f.idMap[downID] = upstreamID
+			f.idMap[downID] = relayEntry{upID: upstreamID, span: span}
 			f.mu.Unlock()
 		case "ping":
 			f.upstream.send(&message{Type: "ping"})
@@ -163,15 +202,17 @@ func (f *Foreman) resultLoop() {
 			return
 		}
 		f.mu.Lock()
-		upID, known := f.idMap[r.TaskID]
+		entry, known := f.idMap[r.TaskID]
 		delete(f.idMap, r.TaskID)
 		f.mu.Unlock()
 		if !known {
 			continue
 		}
-		r.TaskID = upID
+		entry.span.AttrInt("exit_code", int64(r.ExitCode))
+		entry.span.End()
+		r.TaskID = entry.upID
 		f.relayed.Add(1)
-		f.telRelayed.Inc()
+		f.telRelayed.Load().Inc()
 		if err := f.upstream.send(&message{Type: "result", Result: r}); err != nil {
 			return
 		}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 // MasterStats is a snapshot of master-side counters. Every field is read
@@ -53,7 +55,11 @@ type Master struct {
 	statsDispatched                                             int
 	statsBytesOut, statsBytesIn                                 int64
 
-	tel masterTelemetry
+	// tel is installed after the accept loop is already running, so
+	// publication must be atomic. tracer is guarded by mu.
+	tel    atomic.Pointer[masterTelemetry]
+	tracer *trace.Tracer
+	traces map[int64]*taskTrace // by task ID; nil unless Trace was called
 
 	wg sync.WaitGroup
 }
@@ -76,11 +82,23 @@ type masterTelemetry struct {
 // Instrument registers the master's metric series on reg and begins
 // updating them. Call once, before heavy traffic; a nil registry leaves
 // the master uninstrumented at zero cost.
+// noMasterTel is the disabled instrument set: every field nil, every
+// call a nil-receiver no-op.
+var noMasterTel masterTelemetry
+
+// telemetry returns the installed instruments, or the free zero set.
+func (m *Master) telemetry() *masterTelemetry {
+	if t := m.tel.Load(); t != nil {
+		return t
+	}
+	return &noMasterTel
+}
+
 func (m *Master) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	m.tel = masterTelemetry{
+	m.tel.Store(&masterTelemetry{
 		dispatches: reg.Counter("lobster_wq_dispatches_total",
 			"Tasks dispatched to workers, including re-dispatches."),
 		requeues: reg.Counter("lobster_wq_requeues_total",
@@ -99,7 +117,7 @@ func (m *Master) Instrument(reg *telemetry.Registry) {
 			"Task output payload bytes returned by workers."),
 		dispatchWait: reg.Histogram("lobster_wq_dispatch_latency_seconds",
 			"Submit-to-dispatch queue latency.", nil),
-	}
+	})
 	reg.GaugeFunc("lobster_wq_tasks_waiting",
 		"Tasks submitted and awaiting dispatch (queue depth).",
 		func() float64 { return float64(m.Stats().TasksWaiting) })
@@ -117,6 +135,37 @@ func (m *Master) Instrument(reg *telemetry.Registry) {
 type assignment struct {
 	task *Task
 	wc   *workerConn
+}
+
+// taskTrace is the master-side tracing state of one in-flight task: the
+// per-task root span (or hop span when the task arrived with an
+// upstream context), the span of the current dispatch attempt, and when
+// the task last became ready (submit or requeue), which bounds the
+// "submit" queue-wait span stamped at dispatch. Access is ordered by
+// the master mutex; spans are ended outside it.
+type taskTrace struct {
+	root     *trace.Span
+	rootCtx  trace.Context
+	dispatch *trace.Span
+	readyAt  float64
+}
+
+// Trace attaches a tracer: every task gets a root span spanning
+// submit→result, a "submit" span per queue wait, and a "dispatch" span
+// per dispatch attempt whose context travels to the worker in the task's
+// Trace field. Tasks submitted with a valid upstream context (a foreman
+// relaying) chain under it instead of starting a new trace. Call before
+// traffic; a nil tracer leaves the master untraced at zero cost.
+func (m *Master) Trace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	m.mu.Lock()
+	m.tracer = tr
+	if m.traces == nil {
+		m.traces = make(map[int64]*taskTrace)
+	}
+	m.mu.Unlock()
 }
 
 type workerConn struct {
@@ -167,6 +216,22 @@ func (m *Master) Submit(t *Task) (int64, error) {
 	}
 	m.nextID++
 	t.ID = m.nextID
+	if m.tracer != nil {
+		var span *trace.Span
+		if ctx, ok := trace.Parse(t.Trace); ok {
+			span = m.tracer.Start(ctx, "master", "task") // downstream hop (foreman)
+		} else {
+			span = m.tracer.Root("master", "task", t.Tag)
+		}
+		span.AttrInt("task_id", t.ID)
+		if t.Tag != "" {
+			span.Attr("tag", t.Tag)
+		}
+		t.Trace = span.Context().Encode()
+		m.traces[t.ID] = &taskTrace{
+			root: span, rootCtx: span.Context(), readyAt: m.tracer.Now(),
+		}
+	}
 	m.ready = append(m.ready, t)
 	m.submitT[t.ID] = time.Now()
 	m.cond.Broadcast()
@@ -299,7 +364,7 @@ func (m *Master) serveWorker(c *conn) {
 	m.workers[wc] = true
 	m.statsSeen++
 	m.mu.Unlock()
-	m.tel.workersSeen.Inc()
+	m.telemetry().workersSeen.Inc()
 
 	done := make(chan struct{})
 	go func() {
@@ -321,7 +386,7 @@ func (m *Master) serveWorker(c *conn) {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
-	m.tel.workersLost.Inc()
+	m.telemetry().workersLost.Inc()
 	c.close()
 	<-done
 	for _, t := range lost {
@@ -335,20 +400,40 @@ func (m *Master) requeue(t *Task, worker string) {
 	m.mu.Lock()
 	m.retries[t.ID]++
 	n := m.retries[t.ID]
+	tt := m.traces[t.ID]
+	var lostDispatch *trace.Span
+	if tt != nil {
+		lostDispatch, tt.dispatch = tt.dispatch, nil
+		tt.readyAt = m.tracer.Now() // requeue restarts the queue wait
+	}
 	if n <= t.MaxRetries && !m.closed {
 		m.statsRequeues++
 		m.ready = append(m.ready, t)
 		m.cond.Broadcast()
 		m.mu.Unlock()
-		m.tel.requeues.Inc()
+		if lostDispatch != nil {
+			lostDispatch.Attr("lost", worker)
+			lostDispatch.End()
+		}
+		m.telemetry().requeues.Inc()
 		return
 	}
 	m.statsDone++
 	m.statsFailed++
 	sub := m.submitT[t.ID]
+	delete(m.traces, t.ID)
 	m.mu.Unlock()
-	m.tel.done.Inc()
-	m.tel.failed.Inc()
+	if lostDispatch != nil {
+		lostDispatch.Attr("lost", worker)
+		lostDispatch.End()
+	}
+	if tt != nil {
+		tt.root.AttrInt("exit_code", -1)
+		tt.root.AttrInt("requeues", int64(n))
+		tt.root.End()
+	}
+	m.telemetry().done.Inc()
+	m.telemetry().failed.Inc()
 	m.pushResult(&Result{
 		TaskID:   t.ID,
 		Tag:      t.Tag,
@@ -379,10 +464,23 @@ func (m *Master) dispatchLoop(wc *workerConn) {
 		m.dispT[t.ID] = now
 		m.statsDispatched++
 		sub := m.submitT[t.ID]
+		if tt := m.traces[t.ID]; tt != nil {
+			// Queue wait since submit (or the last requeue) becomes a
+			// closed "submit" span; the dispatch attempt opens a span
+			// whose context travels with the task so the worker's spans
+			// chain under this specific attempt.
+			tnow := m.tracer.Now()
+			qs := m.tracer.StartAt(tt.readyAt, tt.rootCtx, "master", "submit")
+			qs.EndAt(tnow)
+			d := m.tracer.StartAt(tnow, tt.rootCtx, "master", "dispatch")
+			d.Attr("worker", wc.name)
+			tt.dispatch = d
+			t.Trace = d.Context().Encode()
+		}
 		m.mu.Unlock()
-		m.tel.dispatches.Inc()
+		m.telemetry().dispatches.Inc()
 		if !sub.IsZero() {
-			m.tel.dispatchWait.Observe(now.Sub(sub).Seconds())
+			m.telemetry().dispatchWait.Observe(now.Sub(sub).Seconds())
 		}
 
 		msg := &message{Type: "task", Task: encodeInputs(t, wc.sent)}
@@ -402,7 +500,7 @@ func (m *Master) dispatchLoop(wc *workerConn) {
 		m.mu.Lock()
 		m.statsBytesOut += sent
 		m.mu.Unlock()
-		m.tel.bytesSent.Add(sent)
+		m.telemetry().bytesSent.Add(sent)
 	}
 }
 
@@ -443,13 +541,21 @@ func (m *Master) readLoop(wc *workerConn) {
 			delete(m.submitT, r.TaskID)
 			delete(m.dispT, r.TaskID)
 			delete(m.retries, r.TaskID)
+			tt := m.traces[r.TaskID]
+			delete(m.traces, r.TaskID)
 			m.cond.Broadcast()
 			m.mu.Unlock()
-			m.tel.done.Inc()
-			if failed {
-				m.tel.failed.Inc()
+			if tt != nil {
+				tt.dispatch.End()
+				tt.root.AttrInt("exit_code", int64(r.ExitCode))
+				tt.root.AttrInt("requeues", int64(r.Requeues))
+				tt.root.End()
 			}
-			m.tel.bytesRecv.Add(recv)
+			m.telemetry().done.Inc()
+			if failed {
+				m.telemetry().failed.Inc()
+			}
+			m.telemetry().bytesRecv.Add(recv)
 			r.Stats.Times.Returned = time.Now()
 			m.pushResult(r)
 		case "ping":

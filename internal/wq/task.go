@@ -19,6 +19,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"time"
+
+	"lobster/internal/trace"
 )
 
 // FileSpec is one file moved with a task: an input into the sandbox or an
@@ -58,6 +60,11 @@ type Task struct {
 	Tag string `json:"tag,omitempty"`
 	// MaxRetries bounds automatic requeue after worker loss (default 5).
 	MaxRetries int `json:"max_retries,omitempty"`
+	// Trace carries the encoded trace context across wire hops (see
+	// internal/trace). The master stamps it at dispatch; foremen re-stamp
+	// it with their own span so every hop chains into one trace. A
+	// malformed or absent value degrades to a fresh root downstream.
+	Trace string `json:"trace,omitempty"`
 }
 
 // TaskTimes records the lifecycle timestamps the monitoring system consumes.
@@ -112,6 +119,13 @@ type ExecContext struct {
 	Sandbox string
 	// WorkerName identifies the executing worker.
 	WorkerName string
+	// Trace is the execution's trace context (the worker's execute span
+	// when tracing is on, the incoming wire context when only upstream
+	// traces, zero otherwise). Executors propagate it into chirp, squid,
+	// and xrootd operations.
+	Trace trace.Context
+	// Tracer records executor-internal spans; nil when tracing is off.
+	Tracer *trace.Tracer
 }
 
 // Executor is the function a task runs on a worker. A non-nil error marks

@@ -1,0 +1,214 @@
+package wq
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"lobster/internal/telemetry"
+	"lobster/internal/trace"
+)
+
+// traceSetup builds one tracer over a buffer-backed event log.
+func traceSetup(t *testing.T) (*trace.Tracer, *bytes.Buffer, *telemetry.EventLog) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	var buf bytes.Buffer
+	log := telemetry.NewEventLog(&buf, nil)
+	tr := trace.New(trace.Config{Registry: reg, Log: log})
+	return tr, &buf, log
+}
+
+func records(t *testing.T, buf *bytes.Buffer, log *telemetry.EventLog) []trace.Record {
+	t.Helper()
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestTracePropagationMasterForemanWorker runs tasks through the full
+// hierarchy — master → foreman → (downstream master) → worker — and
+// asserts every hop's spans share one trace ID per task, chaining
+// parent→child across the wire.
+func TestTracePropagationMasterForemanWorker(t *testing.T) {
+	tr, buf, log := traceSetup(t)
+
+	m := newMaster(t)
+	m.Trace(tr)
+	f, err := NewForeman(m.Addr(), "127.0.0.1:0", "fm0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	f.Trace(tr)
+	w := newWorker(t, f.Addr(), "w0", 2)
+	w.Trace(tr)
+
+	const n = 5
+	ids := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		id, err := m.Submit(&Task{
+			Func:    "echo",
+			Args:    map[string]string{"text": fmt.Sprintf("task %d", i)},
+			Outputs: []string{"out.txt"},
+			Tag:     "analysis",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[id] = true
+	}
+	for i := 0; i < n; i++ {
+		r, ok := m.WaitResult(10 * time.Second)
+		if !ok || r.Failed() {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+		delete(ids, r.TaskID)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("missing results for %v", ids)
+	}
+
+	trees := trace.BuildTrees(records(t, buf, log))
+	if len(trees) != n {
+		t.Fatalf("got %d traces, want %d", len(trees), n)
+	}
+	for _, tree := range trees {
+		if tree.Orphans != 0 {
+			t.Errorf("trace %s has %d orphan spans", tree.TraceID, tree.Orphans)
+		}
+		// Every component of every hop appears in the one trace.
+		comps := map[string]int{}
+		names := map[string]int{}
+		var visit func(nd *trace.Node)
+		visit = func(nd *trace.Node) {
+			if nd.Trace != tree.TraceID {
+				t.Fatalf("span %s has trace %s, want %s", nd.Span, nd.Trace, tree.TraceID)
+			}
+			comps[nd.Comp]++
+			names[nd.Name]++
+			for _, c := range nd.Children {
+				visit(c)
+			}
+		}
+		visit(tree.Root)
+		// master task/submit/dispatch appear twice: upstream master and
+		// the foreman's internal downstream master.
+		for comp, want := range map[string]int{"master": 6, "foreman": 1, "worker": 4} {
+			if comps[comp] != want {
+				t.Errorf("trace %s: %d %s spans, want %d (comps=%v names=%v)",
+					tree.TraceID, comps[comp], comp, want, comps, names)
+			}
+		}
+		for _, name := range []string{"run", "stage_in", "execute", "stage_out"} {
+			if names[name] != 1 {
+				t.Errorf("trace %s: %d %q spans, want 1", tree.TraceID, names[name], name)
+			}
+		}
+		// The chain crosses hops in order: root task (master) → … →
+		// foreman relay → downstream task → … → worker run.
+		if tree.Root.Comp != "master" || tree.Root.Name != "task" {
+			t.Errorf("root is %s/%s, want master/task", tree.Root.Comp, tree.Root.Name)
+		}
+	}
+}
+
+// TestTraceMalformedContextDegrades submits tasks whose Trace field
+// holds garbage: the master must mint a fresh root (never error) and
+// the task must complete normally.
+func TestTraceMalformedContextDegrades(t *testing.T) {
+	tr, buf, log := traceSetup(t)
+	m := newMaster(t)
+	m.Trace(tr)
+	w := newWorker(t, m.Addr(), "w0", 1)
+	w.Trace(tr)
+
+	for _, garbage := range []string{
+		"not-a-trace", "lt1-xx-yy-zz", "lt1-0000000000000000-0000000000000000-01", "lt9-....",
+	} {
+		id, err := m.Submit(&Task{
+			Func: "echo", Args: map[string]string{"text": "x"},
+			Outputs: []string{"out.txt"}, Trace: garbage,
+		})
+		if err != nil {
+			t.Fatalf("Submit with trace %q: %v", garbage, err)
+		}
+		r, ok := m.WaitResult(10 * time.Second)
+		if !ok || r.Failed() || r.TaskID != id {
+			t.Fatalf("task with trace %q: %+v", garbage, r)
+		}
+	}
+
+	trees := trace.BuildTrees(records(t, buf, log))
+	if len(trees) != 4 {
+		t.Fatalf("got %d traces, want 4 fresh roots", len(trees))
+	}
+	for _, tree := range trees {
+		if tree.Root.Parent != "" || tree.Orphans != 0 {
+			t.Errorf("degraded trace %s: parent=%q orphans=%d",
+				tree.TraceID, tree.Root.Parent, tree.Orphans)
+		}
+	}
+}
+
+// TestTraceRequeueSpans kills a worker mid-task and checks the trace
+// records the lost dispatch attempt and the successful retry under one
+// root.
+func TestTraceRequeueSpans(t *testing.T) {
+	tr, buf, log := traceSetup(t)
+	m := newMaster(t)
+	m.Trace(tr)
+	w1, err := NewWorker(m.Addr(), "victim", 1, t.TempDir(), testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Submit(&Task{Func: "sleep", Args: map[string]string{"d": "5s"}})
+	// Let the task dispatch, then evict its worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().TasksRunning == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("task never dispatched")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w1.Evict()
+	w2 := newWorker(t, m.Addr(), "rescuer", 1)
+	w2.Trace(tr)
+	// Speed the retry up: replace the sleep with a short one is not
+	// possible, so just wait for the 5s task on the second worker.
+	r, ok := m.WaitResult(30 * time.Second)
+	if !ok {
+		t.Fatal("no result after requeue")
+	}
+	if r.Failed() || r.Requeues != 1 {
+		t.Fatalf("result: %+v", r)
+	}
+
+	trees := trace.BuildTrees(records(t, buf, log))
+	if len(trees) != 1 {
+		t.Fatalf("got %d traces, want 1", len(trees))
+	}
+	dispatches, lost := 0, 0
+	var visit func(nd *trace.Node)
+	visit = func(nd *trace.Node) {
+		if nd.Name == "dispatch" {
+			dispatches++
+			if nd.Attrs["lost"] != "" {
+				lost++
+			}
+		}
+		for _, c := range nd.Children {
+			visit(c)
+		}
+	}
+	visit(trees[0].Root)
+	if dispatches != 2 || lost != 1 {
+		t.Fatalf("dispatch spans = %d (lost %d), want 2 (1 lost)", dispatches, lost)
+	}
+}

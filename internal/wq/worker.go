@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lobster/internal/telemetry"
+	"lobster/internal/trace"
 )
 
 // Worker connects to a master (or foreman), advertises a number of cores,
@@ -33,7 +34,22 @@ type Worker struct {
 	tasksRun    atomic.Int64
 	tasksFailed atomic.Int64
 
-	tel workerTelemetry
+	// tel and tracer are installed after the receive loop is already
+	// running, so publication must be atomic.
+	tel    atomic.Pointer[workerTelemetry]
+	tracer atomic.Pointer[trace.Tracer]
+}
+
+// Trace attaches a tracer: each task run gets a span chained under the
+// master's dispatch context carried in Task.Trace (a malformed context
+// degrades to a fresh root), with child spans for stage-in, execution,
+// and stage-out. The execute span's context is handed to the executor
+// so application-level operations (chirp, squid, xrootd) chain under
+// it. Call before traffic; nil leaves the worker untraced at zero cost.
+func (w *Worker) Trace(tr *trace.Tracer) {
+	if tr != nil {
+		w.tracer.Store(tr)
+	}
 }
 
 // workerTelemetry holds the worker's instruments; series are shared by all
@@ -49,13 +65,25 @@ type workerTelemetry struct {
 	slotsBusy *telemetry.Gauge
 }
 
+// noWorkerTel is the disabled instrument set: every field nil, every
+// call a nil-receiver no-op.
+var noWorkerTel workerTelemetry
+
+// telemetry returns the installed instruments, or the free zero set.
+func (w *Worker) telemetry() *workerTelemetry {
+	if t := w.tel.Load(); t != nil {
+		return t
+	}
+	return &noWorkerTel
+}
+
 // Instrument registers the worker's (process-aggregate) metric series on
 // reg. A nil registry leaves the worker uninstrumented at zero cost.
 func (w *Worker) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	w.tel = workerTelemetry{
+	w.tel.Store(&workerTelemetry{
 		tasks: reg.Counter("lobster_wq_worker_tasks_total",
 			"Tasks executed by workers in this process."),
 		failures: reg.Counter("lobster_wq_worker_failures_total",
@@ -70,7 +98,7 @@ func (w *Worker) Instrument(reg *telemetry.Registry) {
 			"Executor run time per task.", nil),
 		slotsBusy: reg.Gauge("lobster_wq_worker_slots_busy",
 			"Core slots currently executing tasks across workers in this process."),
-	}
+	})
 }
 
 // NewWorker connects a worker to the master at addr. dir is the worker's
@@ -155,15 +183,16 @@ func (w *Worker) run() {
 			// later hash-only reference must decode after the data-bearing
 			// task has populated the cache.
 			hits, misses, decodeErr := decodeInputs(t, w.cache)
-			w.tel.cacheHits.Add(int64(hits))
-			w.tel.cacheMiss.Add(int64(misses))
+			tel := w.telemetry()
+			tel.cacheHits.Add(int64(hits))
+			tel.cacheMiss.Add(int64(misses))
 			taskWG.Add(1)
 			w.slots <- struct{}{}
 			go func() {
 				defer taskWG.Done()
 				defer func() { <-w.slots }()
-				w.tel.slotsBusy.Add(1)
-				defer w.tel.slotsBusy.Add(-1)
+				tel.slotsBusy.Add(1)
+				defer tel.slotsBusy.Add(-1)
 				res := w.execute(t, hits, misses, decodeErr)
 				if w.evicted.Load() {
 					return // evicted mid-task: never report
@@ -181,16 +210,30 @@ func (w *Worker) run() {
 func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *Result {
 	res := &Result{TaskID: t.ID, Tag: t.Tag, Worker: w.name}
 	res.Stats.Times.Started = time.Now()
+	tracer := w.tracer.Load()
+	wireCtx, _ := trace.Parse(t.Trace)
+	run := tracer.Start(wireCtx, "worker", "run")
+	run.Attr("worker", w.name)
+	run.AttrInt("task_id", t.ID)
+	var siSpan, exSpan, soSpan *trace.Span
 	defer func() {
 		res.Stats.Times.Finished = time.Now()
 		w.tasksRun.Add(1)
-		w.tel.tasks.Inc()
+		tel := w.telemetry()
+		tel.tasks.Inc()
 		if res.Failed() {
 			w.tasksFailed.Add(1)
-			w.tel.failures.Inc()
+			tel.failures.Inc()
 		}
-		w.tel.stageIn.Observe(res.Stats.StageIn.Seconds())
-		w.tel.execTime.Observe(res.Stats.Exec.Seconds())
+		tel.stageIn.Observe(res.Stats.StageIn.Seconds())
+		tel.execTime.Observe(res.Stats.Exec.Seconds())
+		// Close whatever stage span a failure return left open (End on
+		// an already-ended or nil span is a no-op).
+		siSpan.End()
+		exSpan.End()
+		soSpan.End()
+		run.AttrInt("exit_code", int64(res.ExitCode))
+		run.End()
 	}()
 
 	fail := func(code int, format string, args ...any) *Result {
@@ -201,8 +244,11 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 
 	// Stage in.
 	stageStart := time.Now()
+	siSpan = tracer.Start(run.Context(), "worker", "stage_in")
 	res.Stats.CacheHits = cacheHits
 	res.Stats.CacheMisses = cacheMisses
+	siSpan.AttrInt("cache_hits", int64(cacheHits))
+	siSpan.AttrInt("cache_misses", int64(cacheMisses))
 	if decodeErr != nil {
 		return fail(170, "stage-in: %v", decodeErr)
 	}
@@ -222,6 +268,8 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 		res.Stats.BytesIn += int64(len(f.Data))
 	}
 	res.Stats.StageIn = time.Since(stageStart)
+	siSpan.AttrInt("bytes", res.Stats.BytesIn)
+	siSpan.End()
 
 	// Execute.
 	exec, ok := w.reg[t.Func]
@@ -229,15 +277,26 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 		return fail(127, "unknown executor %q", t.Func)
 	}
 	execStart := time.Now()
+	exSpan = tracer.Start(run.Context(), "worker", "execute")
+	execTrace := exSpan.Context()
+	if !execTrace.Valid() {
+		// Tracing off locally: still forward the upstream context so a
+		// partially-instrumented stack keeps one trace.
+		execTrace = wireCtx
+	}
 	err := func() (err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("executor panicked: %v", p)
 			}
 		}()
-		return exec(&ExecContext{Task: t, Sandbox: sandbox, WorkerName: w.name})
+		return exec(&ExecContext{
+			Task: t, Sandbox: sandbox, WorkerName: w.name,
+			Trace: execTrace, Tracer: tracer,
+		})
 	}()
 	res.Stats.Exec = time.Since(execStart)
+	exSpan.End()
 	if err != nil {
 		// Best-effort output collection on failure: diagnostic outputs such
 		// as the wrapper report must reach the master even when the task
@@ -257,6 +316,7 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 
 	// Stage out.
 	outStart := time.Now()
+	soSpan = tracer.Start(run.Context(), "worker", "stage_out")
 	for _, name := range t.Outputs {
 		data, err := os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
 		if err != nil {
@@ -266,5 +326,7 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 		res.Stats.BytesOut += int64(len(data))
 	}
 	res.Stats.StageOut = time.Since(outStart)
+	soSpan.AttrInt("bytes", res.Stats.BytesOut)
+	soSpan.End()
 	return res
 }

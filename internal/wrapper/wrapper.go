@@ -13,7 +13,10 @@ package wrapper
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
+
+	"lobster/internal/trace"
 )
 
 // Segment names a wrapper phase. The set mirrors the paper's breakdown.
@@ -126,9 +129,16 @@ func Decode(data []byte) (*Report, error) {
 	return &r, nil
 }
 
-// StepContext is passed to each step so it can record metrics.
+// StepContext is passed to each step so it can record metrics and, when
+// the wrapper runs traced, chain service clients (chirp, parrot,
+// frontier, xrootd) under the segment's span.
 type StepContext struct {
 	metrics map[string]float64
+
+	// Tracer and Trace are the task's tracer and the current segment
+	// span's context; both are zero when the wrapper runs untraced.
+	Tracer *trace.Tracer
+	Trace  trace.Context
 }
 
 // SetMetric records a metric for the current segment.
@@ -151,12 +161,25 @@ type Step struct {
 // failure stops execution; its segment's exit code becomes the report's.
 // A nil Run function records an instantaneous success (segment skipped).
 func Run(steps ...Step) *Report {
+	return RunTraced(nil, trace.Context{}, steps...)
+}
+
+// RunTraced is Run with distributed tracing: each segment records a
+// span (component "wrapper", named after the segment) chained under
+// parent, and each step's context carries the segment span so service
+// clients used inside chain under it. Segment metrics become span
+// attributes. A nil tracer or invalid parent behaves exactly like Run.
+func RunTraced(tr *trace.Tracer, parent trace.Context, steps ...Step) *Report {
 	rep := &Report{}
 	for _, step := range steps {
 		sr := SegmentReport{Segment: step.Segment, Start: time.Now(), Metrics: map[string]float64{}}
 		var err error
+		var sp *trace.Span
+		if tr != nil && parent.Valid() {
+			sp = tr.Start(parent, "wrapper", string(step.Segment))
+		}
 		if step.Run != nil {
-			ctx := &StepContext{metrics: sr.Metrics}
+			ctx := &StepContext{metrics: sr.Metrics, Tracer: tr, Trace: sp.Context().OrElse(parent)}
 			err = func() (err error) {
 				defer func() {
 					if p := recover(); p != nil {
@@ -167,15 +190,24 @@ func Run(steps ...Step) *Report {
 			}()
 		}
 		sr.Duration = time.Since(sr.Start)
+		if sp.Sampled() {
+			for name, v := range sr.Metrics {
+				sp.Attr(name, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
 		if err != nil {
 			sr.ExitCode = step.Segment.Code()
 			sr.Error = err.Error()
 			rep.Segments = append(rep.Segments, sr)
 			rep.ExitCode = sr.ExitCode
 			rep.Failed = step.Segment
+			sp.Attr("error", sr.Error)
+			sp.AttrInt("exit_code", int64(sr.ExitCode))
+			sp.End()
 			return rep
 		}
 		rep.Segments = append(rep.Segments, sr)
+		sp.End()
 	}
 	return rep
 }

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"lobster/internal/trace"
 )
 
 // Client opens LFNs through a redirector, streaming content from whichever
@@ -19,6 +21,19 @@ type Client struct {
 	Consumer   string
 	// DialTimeout bounds each connection attempt (default 10 s).
 	DialTimeout time.Duration
+
+	tracer *trace.Tracer
+	parent trace.Context
+}
+
+// Trace attaches a tracer and parent context: opens and fetches record
+// spans naming the LFN and the replica that answered, so the analyzer
+// can attribute slow WAN reads to a storage element. Call before use;
+// a nil tracer or invalid parent leaves the client untraced at zero
+// cost.
+func (c *Client) Trace(tr *trace.Tracer, parent trace.Context) {
+	c.tracer = tr
+	c.parent = parent
 }
 
 // File is an open remote file. Not safe for concurrent use.
@@ -35,20 +50,34 @@ type File struct {
 // Open resolves lfn and connects to a replica. Replicas are tried in the
 // order the redirector returns them.
 func (c *Client) Open(lfn string) (*File, error) {
+	return c.open(lfn, c.parent)
+}
+
+func (c *Client) open(lfn string, pctx trace.Context) (*File, error) {
+	var sp *trace.Span
+	if c.tracer != nil && pctx.Valid() {
+		sp = c.tracer.Start(pctx, "xrootd", "open")
+		sp.Attr("lfn", lfn)
+	}
+	defer sp.End()
 	reps, err := c.Redirector.Locate(lfn)
 	if err != nil {
+		sp.Attr("error", err.Error())
 		return nil, err
 	}
 	var firstErr error
-	for _, rep := range reps {
+	for i, rep := range reps {
 		f, err := c.openAt(lfn, rep)
 		if err == nil {
+			sp.Attr("replica", rep.Addr)
+			sp.AttrInt("attempts", int64(i+1))
 			return f, nil
 		}
 		if firstErr == nil {
 			firstErr = err
 		}
 	}
+	sp.Attr("error", firstErr.Error())
 	return nil, fmt.Errorf("xrootd: all %d replicas of %s failed: %w", len(reps), lfn, firstErr)
 }
 
@@ -150,11 +179,20 @@ func (f *File) Close() error {
 
 // Fetch streams the whole file into memory, the staging-style access.
 func (c *Client) Fetch(lfn string) ([]byte, error) {
-	f, err := c.Open(lfn)
+	var sp *trace.Span
+	if c.tracer != nil && c.parent.Valid() {
+		sp = c.tracer.Start(c.parent, "xrootd", "fetch")
+		sp.Attr("lfn", lfn)
+	}
+	defer sp.End()
+	f, err := c.open(lfn, sp.Context().OrElse(c.parent))
 	if err != nil {
+		sp.Attr("error", err.Error())
 		return nil, err
 	}
 	defer f.Close()
+	sp.Attr("replica", f.conn.RemoteAddr().String())
+	sp.AttrInt("bytes", f.Size())
 	buf := make([]byte, f.Size())
 	var read int64
 	const chunk = 256 << 10
