@@ -4,11 +4,11 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race bench bench-kernel bench-guard
+.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard
 
 all: check
 
-check: vet build test race
+check: vet build test race chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,21 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Fault-storm suite: the full deploy stack under scripted worker kills,
+# chirp connection drops, and squid stalls, asserting zero task loss and
+# byte-identical outputs (DESIGN.md §9). Always raced — the storms exist
+# to shake out exactly the interleavings -race catches.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faultinject/
+
+# Native fuzzing of the wire-facing parsers, 30s per target. Checked-in
+# seed corpora live in each package's testdata/fuzz/.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz FuzzDispatch -fuzztime $(FUZZTIME) ./internal/chirp/
+	$(GO) test -fuzz FuzzReadEvents -fuzztime $(FUZZTIME) ./internal/telemetry/
 
 bench:
 	$(GO) test -bench=Fig -benchmem .

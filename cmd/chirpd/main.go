@@ -16,6 +16,7 @@ import (
 	"os/signal"
 
 	"lobster/internal/chirp"
+	"lobster/internal/faultinject"
 	"lobster/internal/telemetry"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	root := flag.String("root", "./chirp-export", "directory to export")
 	maxConc := flag.Int("max-concurrent", 16, "concurrently served connections")
 	metrics := flag.String("metrics", "", "serve telemetry (GET /metrics, /status) on this address")
+	fplan := flag.String("fault-plan", "", "JSON fault plan: inject deterministic faults into served connections")
 	flag.Parse()
 
 	fs, err := chirp.NewLocalFS(*root)
@@ -35,6 +37,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chirpd:", err)
 		os.Exit(1)
+	}
+	if *fplan != "" {
+		plan, err := faultinject.LoadPlan(*fplan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chirpd:", err)
+			os.Exit(1)
+		}
+		srv.Fault(faultinject.New(plan))
+		fmt.Printf("chirpd: fault plan armed: %d rules, seed %d\n", len(plan.Rules), plan.Seed)
 	}
 	if *metrics != "" {
 		reg := telemetry.NewRegistry()

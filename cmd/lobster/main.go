@@ -11,6 +11,7 @@
 //	lobster -kind simulation -events 2000
 //	lobster -http 127.0.0.1:9099 ...            # serve /metrics and /status
 //	lobster -trace-log spans.jsonl ...          # record spans; analyze with lobster-trace
+//	lobster -fault-plan storm.json ...          # replay a deterministic fault storm
 //	lobster -top http://127.0.0.1:9099          # one-shot status of a live run
 //	lobster -top http://127.0.0.1:9099 -watch   # live bottleneck dashboard
 package main
@@ -25,7 +26,9 @@ import (
 
 	"lobster/internal/core"
 	"lobster/internal/deploy"
+	"lobster/internal/faultinject"
 	"lobster/internal/monitor"
+	"lobster/internal/retry"
 	"lobster/internal/store"
 	"lobster/internal/tabulate"
 	"lobster/internal/telemetry"
@@ -52,6 +55,8 @@ func main() {
 		evlogMax = flag.Int64("event-log-max", 0, "rotate the event log after this many bytes (0 = never)")
 		trlog    = flag.String("trace-log", "", "enable distributed tracing; append trace spans to this JSONL file (analyze with lobster-trace)")
 		trRate   = flag.Float64("trace-rate", 0, "head-sampling bound: max new traces sampled per second (0 = all)")
+		fplan    = flag.String("fault-plan", "", "JSON fault plan: inject a deterministic fault storm into the stack")
+		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0 = use the plan's)")
 		topURL   = flag.String("top", "", "print the status of the lobster at this base URL and exit")
 		watch    = flag.Bool("watch", false, "with -top: refresh continuously instead of one-shot")
 		interval = flag.Duration("interval", 2*time.Second, "with -top -watch: refresh interval")
@@ -66,7 +71,7 @@ func main() {
 	}
 	if err := run(*kind, *files, *lumis, *events, *workers, *cores, *taskSize,
 		*access, *merge, *mergeMB, *dbdir, *seed, *confPath, *httpAddr,
-		*evlog, *evlogMax, *trlog, *trRate); err != nil {
+		*evlog, *evlogMax, *trlog, *trRate, *fplan, *fseed); err != nil {
 		fmt.Fprintln(os.Stderr, "lobster:", err)
 		os.Exit(1)
 	}
@@ -74,7 +79,8 @@ func main() {
 
 func run(kind string, files, lumis, events, workers, cores, taskSize int,
 	access, merge string, mergeKB float64, dbdir string, seed uint64,
-	confPath, httpAddr, evlogPath string, evlogMax int64, trlogPath string, trRate float64) error {
+	confPath, httpAddr, evlogPath string, evlogMax int64, trlogPath string, trRate float64,
+	faultPlanPath string, faultSeed uint64) error {
 	var cfg core.Config
 	if confPath != "" {
 		var err error
@@ -123,6 +129,23 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 		fmt.Printf("telemetry on http://%s/metrics and /status\n", lis.Addr())
 	}
 
+	var inj *faultinject.Injector
+	var faultRetry retry.Policy
+	if faultPlanPath != "" {
+		plan, err := faultinject.LoadPlan(faultPlanPath)
+		if err != nil {
+			return err
+		}
+		if faultSeed != 0 {
+			plan.Seed = faultSeed
+		}
+		inj = faultinject.New(plan)
+		// A storm without retries just fails; arm the same bounded
+		// backoff the chaos suite runs under.
+		faultRetry = retry.Policy{MaxAttempts: 4}
+		fmt.Printf("fault plan armed: %d rules, seed %d\n", len(plan.Rules), plan.Seed)
+	}
+
 	fmt.Println("starting services (cvmfs, squid, frontier, xrootd, chirp, wq)...")
 	st, err := deploy.Start(deploy.Options{
 		Files: files, LumisPerFile: lumis, EventsPerFile: events,
@@ -132,6 +155,8 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 		Telemetry: reg,
 		EventLog:  evl,
 		Tracer:    tracer,
+		Fault:     inj,
+		Retry:     faultRetry,
 	})
 	if err != nil {
 		return err
@@ -216,6 +241,9 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 		for _, o := range outs {
 			fmt.Printf("  %-40s %s\n", o.Name, tabulate.Bytes(float64(o.Size)))
 		}
+	}
+	if inj != nil {
+		fmt.Printf("\nfault plane: %d faults injected\n", inj.TotalFired())
 	}
 	if !rep.Succeeded() {
 		return fmt.Errorf("%d tasklets failed", rep.TaskletsFailed)

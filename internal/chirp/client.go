@@ -9,24 +9,56 @@ import (
 	"strings"
 	"time"
 
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
 	"lobster/internal/trace"
 )
 
 // Client is a connection to a chirp server. A client is not safe for
 // concurrent use; open one per goroutine (connections are cheap and the
 // server's slot cap is the intended throttle).
+//
+// Error handling: any transport failure (send, flush, read, short
+// payload) closes the connection and marks the client broken — the line
+// protocol has no resynchronisation point, so a half-finished exchange
+// poisons every later operation on the same connection. Server-reported
+// and protocol errors are returned as *ServerError / *ProtocolError and
+// are permanent under the retry package's classification; transport
+// errors are retryable on a fresh connection (see Dialer).
 type Client struct {
-	conn net.Conn
-	addr string
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn   net.Conn
+	addr   string
+	r      *bufio.Reader
+	w      *bufio.Writer
+	broken bool
+
+	// opTimeout bounds each protocol operation end to end via a
+	// connection deadline set at operation start. Zero means no bound.
+	opTimeout time.Duration
 
 	tracer *trace.Tracer
 	parent trace.Context
 }
 
+// ClientOptions configures DialOpts.
+type ClientOptions struct {
+	// DialTimeout bounds the TCP connect (default 30s).
+	DialTimeout time.Duration
+	// OpTimeout bounds each protocol operation (0 = unbounded).
+	OpTimeout time.Duration
+	// Fault, when non-nil, wraps the connection so reads and writes
+	// consult the fault plane under component "chirp_client".
+	Fault *faultinject.Injector
+}
+
 // Dial connects to a chirp server.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialOpts(addr, ClientOptions{DialTimeout: timeout})
+}
+
+// DialOpts connects to a chirp server with explicit options.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
+	timeout := opts.DialTimeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
@@ -34,11 +66,13 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chirp: dialing %s: %w", addr, err)
 	}
+	conn = opts.Fault.Conn("chirp_client", conn)
 	return &Client{
-		conn: conn,
-		addr: addr,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
+		conn:      conn,
+		addr:      addr,
+		r:         bufio.NewReaderSize(conn, 64<<10),
+		w:         bufio.NewWriterSize(conn, 64<<10),
+		opTimeout: opts.OpTimeout,
 	}, nil
 }
 
@@ -56,8 +90,11 @@ func (c *Client) Trace(tr *trace.Tracer, parent trace.Context) {
 // op opens the span for one protocol operation and, when sampled,
 // forwards its context so the matching server span chains under it.
 // The trace line carries no response; it rides the same flush as the
-// command that follows.
+// command that follows. It also arms the per-op deadline.
 func (c *Client) op(name string) *trace.Span {
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
 	if c.tracer == nil || !c.parent.Valid() {
 		return nil
 	}
@@ -69,54 +106,93 @@ func (c *Client) op(name string) *trace.Span {
 	return sp
 }
 
-// Close sends quit and closes the connection.
+// fail closes the connection after a transport failure and returns err
+// unchanged. Every later operation short-circuits on the broken flag.
+func (c *Client) fail(err error) error {
+	if !c.broken {
+		c.broken = true
+		c.conn.Close()
+	}
+	return err
+}
+
+// Broken reports whether a transport failure has poisoned this
+// connection. A broken client must be discarded and redialed.
+func (c *Client) Broken() bool { return c.broken }
+
+// errBroken is returned for operations attempted on a broken client.
+var errBroken = fmt.Errorf("chirp: connection broken by earlier failure")
+
+// Close sends quit and closes the connection. A broken connection is
+// already closed; Close is then a no-op.
 func (c *Client) Close() error {
+	if c.broken {
+		return nil
+	}
+	c.broken = true
 	fmt.Fprint(c.w, "quit\n")
 	c.w.Flush()
 	return c.conn.Close()
 }
 
-// readStatusLine reads one response line, decoding "-1 <error>" responses.
-func (c *Client) readStatusLine() (string, error) {
+// readStatusLine reads one response line, decoding "-1 <error>"
+// responses into *ServerError (permanent; the connection stays usable —
+// the server answered in protocol).
+func (c *Client) readStatusLine(op string) (string, error) {
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return "", fmt.Errorf("chirp: reading response: %w", err)
+		return "", c.fail(fmt.Errorf("chirp: reading response: %w", err))
 	}
 	line = strings.TrimRight(line, "\r\n")
 	if strings.HasPrefix(line, "-1 ") {
-		return "", fmt.Errorf("chirp: server error: %s", strings.TrimPrefix(line, "-1 "))
+		return "", &ServerError{Op: op, Msg: strings.TrimPrefix(line, "-1 ")}
 	}
 	if line == "-1" {
-		return "", fmt.Errorf("chirp: server error")
+		return "", &ServerError{Op: op, Msg: "unspecified error"}
 	}
 	return line, nil
 }
 
+// protoErr records a malformed response and closes the connection: a
+// peer that answered out of protocol has desynchronised the stream.
+func (c *Client) protoErr(op, format string, args ...any) error {
+	err := &ProtocolError{Op: op, Msg: fmt.Sprintf(format, args...)}
+	c.fail(err)
+	return err
+}
+
 // GetFile fetches the file at path.
 func (c *Client) GetFile(path string) ([]byte, error) {
+	if c.broken {
+		return nil, errBroken
+	}
 	sp := c.op("get")
 	defer sp.End()
 	if err := c.send("getfile %s\n", path); err != nil {
 		return nil, err
 	}
-	line, err := c.readStatusLine()
+	line, err := c.readStatusLine("getfile")
 	if err != nil {
 		return nil, err
 	}
 	size, err := strconv.ParseInt(line, 10, 64)
 	if err != nil || size < 0 || size > MaxPayload {
-		return nil, fmt.Errorf("chirp: bad size response %q", line)
+		return nil, c.protoErr("getfile", "bad size response %q", line)
 	}
 	data := make([]byte, size)
 	if _, err := io.ReadFull(c.r, data); err != nil {
-		return nil, fmt.Errorf("chirp: short read: %w", err)
+		return nil, c.fail(fmt.Errorf("chirp: short read: %w", err))
 	}
 	sp.AttrInt("bytes", size)
 	return data, nil
 }
 
-// PutFile creates or replaces the file at path.
+// PutFile creates or replaces the file at path. PutFile is idempotent:
+// a retried put that already landed simply rewrites the same bytes.
 func (c *Client) PutFile(path string, data []byte) error {
+	if c.broken {
+		return errBroken
+	}
 	sp := c.op("put")
 	sp.AttrInt("bytes", int64(len(data)))
 	defer sp.End()
@@ -124,17 +200,20 @@ func (c *Client) PutFile(path string, data []byte) error {
 		return err
 	}
 	if _, err := c.w.Write(data); err != nil {
-		return fmt.Errorf("chirp: sending payload: %w", err)
+		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
 	}
-	_, err := c.readStatusLine()
+	_, err := c.readStatusLine("putfile")
 	return err
 }
 
 // Append appends data to the file at path.
 func (c *Client) Append(path string, data []byte) error {
+	if c.broken {
+		return errBroken
+	}
 	sp := c.op("append")
 	sp.AttrInt("bytes", int64(len(data)))
 	defer sp.End()
@@ -142,90 +221,105 @@ func (c *Client) Append(path string, data []byte) error {
 		return err
 	}
 	if _, err := c.w.Write(data); err != nil {
-		return err
+		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
 	}
-	_, err := c.readStatusLine()
+	_, err := c.readStatusLine("append")
 	return err
 }
 
 // Stat returns info for the entry at path.
 func (c *Client) Stat(path string) (FileInfo, error) {
+	if c.broken {
+		return FileInfo{}, errBroken
+	}
 	sp := c.op("stat")
 	defer sp.End()
 	if err := c.send("stat %s\n", path); err != nil {
 		return FileInfo{}, err
 	}
-	line, err := c.readStatusLine()
+	line, err := c.readStatusLine("stat")
 	if err != nil {
 		return FileInfo{}, err
 	}
 	var size int64
 	var kind string
 	if _, err := fmt.Sscanf(line, "%d %s", &size, &kind); err != nil {
-		return FileInfo{}, fmt.Errorf("chirp: bad stat response %q", line)
+		return FileInfo{}, c.protoErr("stat", "bad stat response %q", line)
 	}
 	return FileInfo{Name: path, Size: size, IsDir: kind == "dir"}, nil
 }
 
 // List returns the entries of the directory at path.
 func (c *Client) List(path string) ([]FileInfo, error) {
+	if c.broken {
+		return nil, errBroken
+	}
 	sp := c.op("ls")
 	defer sp.End()
 	if err := c.send("ls %s\n", path); err != nil {
 		return nil, err
 	}
-	line, err := c.readStatusLine()
+	line, err := c.readStatusLine("ls")
 	if err != nil {
 		return nil, err
 	}
 	n, err := strconv.Atoi(line)
 	if err != nil || n < 0 {
-		return nil, fmt.Errorf("chirp: bad count response %q", line)
+		return nil, c.protoErr("ls", "bad count response %q", line)
 	}
 	out := make([]FileInfo, 0, n)
 	for i := 0; i < n; i++ {
 		entry, err := c.r.ReadString('\n')
 		if err != nil {
-			return nil, fmt.Errorf("chirp: truncated listing: %w", err)
+			return nil, c.fail(fmt.Errorf("chirp: truncated listing: %w", err))
 		}
 		entry = strings.TrimRight(entry, "\r\n")
 		parts := strings.SplitN(entry, " ", 3)
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("chirp: bad listing line %q", entry)
+			return nil, c.protoErr("ls", "bad listing line %q", entry)
 		}
 		size, err := strconv.ParseInt(parts[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("chirp: bad listing size %q", parts[0])
+			return nil, c.protoErr("ls", "bad listing size %q", parts[0])
 		}
 		out = append(out, FileInfo{Name: parts[2], Size: size, IsDir: parts[1] == "d"})
 	}
 	return out, nil
 }
 
-// Unlink removes the file at path.
+// Unlink removes the file at path. Callers retrying an unlink should
+// tolerate ErrNotExist: the first attempt may have removed the file
+// before its response was lost.
 func (c *Client) Unlink(path string) error {
+	if c.broken {
+		return errBroken
+	}
 	sp := c.op("unlink")
 	defer sp.End()
 	if err := c.send("unlink %s\n", path); err != nil {
 		return err
 	}
-	_, err := c.readStatusLine()
+	_, err := c.readStatusLine("unlink")
 	return err
 }
 
 func (c *Client) send(format string, args ...any) error {
 	// Reject paths with whitespace or newlines: the line protocol cannot
-	// carry them, and silently mangling paths would corrupt data.
+	// carry them, and silently mangling paths would corrupt data. This is
+	// a caller bug, not a transport fault — permanent, connection intact.
 	for _, a := range args {
 		if s, ok := a.(string); ok && strings.ContainsAny(s, " \t\r\n") {
-			return fmt.Errorf("chirp: path %q contains whitespace", s)
+			return retry.Permanent(fmt.Errorf("chirp: path %q contains whitespace", s))
 		}
 	}
 	if _, err := fmt.Fprintf(c.w, format, args...); err != nil {
-		return fmt.Errorf("chirp: sending request: %w", err)
+		return c.fail(fmt.Errorf("chirp: sending request: %w", err))
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return c.fail(fmt.Errorf("chirp: sending request: %w", err))
+	}
+	return nil
 }

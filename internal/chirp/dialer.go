@@ -1,0 +1,93 @@
+package chirp
+
+import (
+	"errors"
+	"time"
+
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
+	"lobster/internal/trace"
+)
+
+// Dialer is the hardened entry point for chirp operations: each Do call
+// dials a fresh connection, runs the supplied closure against it, and
+// retries with bounded exponential backoff when the failure was a
+// transport fault (a dropped connection, a timeout, an injected fault).
+// Server-reported and protocol errors are permanent and surface on the
+// first strike — see errors.go for the classification.
+//
+// The closure must be idempotent under re-execution: each retry re-runs
+// it from the top on a new connection. Single-operation closures
+// (one GetFile, one PutFile) are the intended grain; deletes should
+// tolerate ErrNotExist (see Client.Unlink).
+type Dialer struct {
+	// Addr is the chirp server address.
+	Addr string
+	// DialTimeout bounds each TCP connect (default 30s).
+	DialTimeout time.Duration
+	// OpTimeout bounds each protocol operation (0 = unbounded).
+	OpTimeout time.Duration
+	// Retry bounds the redial-and-retry loop. The zero Policy performs
+	// a single attempt, matching the old un-hardened behaviour.
+	Retry retry.Policy
+	// Fault, when non-nil, wires the client connection into the fault
+	// plane under component "chirp_client".
+	Fault *faultinject.Injector
+
+	// Tracer and Parent, when set, are attached to every dialed client
+	// so each attempt's operations record spans.
+	Tracer *trace.Tracer
+	Parent trace.Context
+}
+
+// Do dials, runs fn, closes, retrying transport failures under the
+// dialer's policy.
+func (d *Dialer) Do(fn func(*Client) error) error {
+	return d.Retry.Do(func() error {
+		c, err := DialOpts(d.Addr, ClientOptions{
+			DialTimeout: d.DialTimeout,
+			OpTimeout:   d.OpTimeout,
+			Fault:       d.Fault,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if d.Tracer != nil {
+			c.Trace(d.Tracer, d.Parent)
+		}
+		return fn(c)
+	})
+}
+
+// GetFile fetches path with retries.
+func (d *Dialer) GetFile(path string) ([]byte, error) {
+	var data []byte
+	err := d.Do(func(c *Client) error {
+		var err error
+		data, err = c.GetFile(path)
+		return err
+	})
+	return data, err
+}
+
+// PutFile writes path with retries (idempotent: replays rewrite the
+// same bytes).
+func (d *Dialer) PutFile(path string, data []byte) error {
+	return d.Do(func(c *Client) error { return c.PutFile(path, data) })
+}
+
+// Unlink removes path with retries, treating ErrNotExist on a retry
+// as success: the previous attempt may have removed the file before
+// its response was lost.
+func (d *Dialer) Unlink(path string) error {
+	attempt := 0
+	return d.Do(func(c *Client) error {
+		attempt++
+		err := c.Unlink(path)
+		if err != nil && attempt > 1 && errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	})
+}

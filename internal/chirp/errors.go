@@ -1,0 +1,90 @@
+package chirp
+
+import (
+	"errors"
+	"strings"
+
+	"lobster/internal/retry"
+)
+
+// Error classification. The chirp client distinguishes two failure
+// classes so the retry layer can act correctly:
+//
+//   - Transport failures (dial errors, resets, short reads, timeouts)
+//     are retryable: the environment is flaky by assumption and a fresh
+//     connection usually succeeds. They surface as ordinary wrapped
+//     errors; anything not marked permanent retries.
+//
+//   - Server-reported errors ("-1 <text>" responses) and protocol
+//     violations (malformed responses) are permanent: the server
+//     answered, retrying the same request yields the same answer.
+//     They surface as *ServerError / *ProtocolError, both matching
+//     retry.ErrPermanent via errors.Is.
+
+// ErrServer matches every server-reported ("-1 ...") error.
+var ErrServer = errors.New("chirp: server error")
+
+// ErrNotExist matches server errors for missing files, so callers can
+// treat deletes idempotently: a retried unlink whose first attempt
+// succeeded but whose response was lost reports ErrNotExist, which the
+// caller may ignore.
+var ErrNotExist = errors.New("chirp: file does not exist")
+
+// ErrProtocol matches malformed-response errors.
+var ErrProtocol = errors.New("chirp: protocol error")
+
+// ServerError is an error the server reported on a "-1" response line.
+type ServerError struct {
+	Op  string // the protocol command that failed
+	Msg string // the server's error text
+}
+
+// Error implements the error interface.
+func (e *ServerError) Error() string {
+	return "chirp: server error: " + e.Msg
+}
+
+// Is matches ErrServer, retry.ErrPermanent, and — for missing-file
+// messages — ErrNotExist.
+func (e *ServerError) Is(target error) bool {
+	switch target {
+	case ErrServer, retry.ErrPermanent:
+		return true
+	case ErrNotExist:
+		return e.NotExist()
+	}
+	return false
+}
+
+// NotExist reports whether the server's message describes a missing
+// file. The line protocol carries no error codes, only text, so this
+// matches the messages the LocalFS and HDFS backends produce.
+func (e *ServerError) NotExist() bool {
+	return strings.Contains(e.Msg, "no such file") ||
+		strings.Contains(e.Msg, "not exist") ||
+		strings.Contains(e.Msg, "not found")
+}
+
+// ProtocolError is a malformed response from the server: the reply
+// parsed as neither a success nor a "-1" error. Permanent — the peer is
+// not speaking chirp.
+type ProtocolError struct {
+	Op  string
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ProtocolError) Error() string {
+	return "chirp: protocol error: " + e.Msg
+}
+
+// Is matches ErrProtocol and retry.ErrPermanent.
+func (e *ProtocolError) Is(target error) bool {
+	return target == ErrProtocol || target == retry.ErrPermanent
+}
+
+// IsRetryable reports whether a chirp operation error is worth retrying
+// on a fresh connection.
+func IsRetryable(err error) bool {
+	return err != nil && !retry.IsPermanent(err)
+}

@@ -2,6 +2,7 @@ package chirp
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lobster/internal/faultinject"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
@@ -63,10 +65,20 @@ type Server struct {
 	in, out atomic.Int64
 	qwait   atomic.Int64 // nanoseconds
 
-	// tel and tracer are installed after the accept loop is already
-	// running, so publication must be atomic.
+	// tel, tracer, and fault are installed after the accept loop is
+	// already running, so publication must be atomic.
 	tel    atomic.Pointer[serverTelemetry]
 	tracer atomic.Pointer[trace.Tracer]
+	fault  atomic.Pointer[faultinject.Injector]
+}
+
+// Fault wires the server into the fault plane: newly accepted
+// connections are wrapped so their reads and writes consult inj under
+// component "chirp_server". Call before traffic; nil is a no-op.
+func (s *Server) Fault(inj *faultinject.Injector) {
+	if inj != nil {
+		s.fault.Store(inj)
+	}
 }
 
 // Trace attaches a tracer: requests preceded by a client "trace" line
@@ -190,6 +202,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		conn = s.fault.Load().Conn("chirp_server", conn)
 		s.conns.Add(1)
 		s.telemetry().conns.Inc()
 		s.wg.Add(1)
@@ -261,6 +274,13 @@ func sanitizeError(err error) string {
 	return strings.ReplaceAll(err.Error(), "\n", " ")
 }
 
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -290,10 +310,14 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		if err != nil || size < 0 || size > MaxPayload {
 			return fmt.Errorf("bad size %q", fields[2])
 		}
-		data := make([]byte, size)
-		if _, err := io.ReadFull(r, data); err != nil {
+		// Buffer grows as bytes actually arrive: a client claiming a huge
+		// size must deliver it before the server commits the memory.
+		var buf bytes.Buffer
+		buf.Grow(int(min64(size, 1<<20)))
+		if _, err := io.CopyN(&buf, r, size); err != nil {
 			return fmt.Errorf("short payload: %w", err)
 		}
+		data := buf.Bytes()
 		s.in.Add(size)
 		s.telemetry().bytesIn.Add(size)
 		if fields[0] == "putfile" {

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"lobster/internal/chirp"
+	"lobster/internal/faultinject"
 	"lobster/internal/hdfs"
+	"lobster/internal/retry"
 	"lobster/internal/wq"
 )
 
@@ -17,12 +20,33 @@ type outputFile struct {
 	Bytes int64  `json:"bytes"`
 }
 
+// MergeOptions hardens the merge executor's chirp access.
+type MergeOptions struct {
+	// Retry bounds redial-and-retry for each chirp operation. The zero
+	// Policy performs single attempts.
+	Retry retry.Policy
+	// Fault, when non-nil, wires the executor's chirp connections into
+	// the fault plane (component "chirp_client").
+	Fault *faultinject.Injector
+}
+
 // MergeExecutor returns the worker-side executor for merge tasks: it fetches
 // the listed inputs from the chirp storage element, concatenates them, and
 // writes the merged file back. Merge tasks run like analysis tasks (paper:
 // "Merge tasks run in the same way as analysis tasks"), so they are subject
 // to the same eviction and retry machinery.
 func MergeExecutor(chirpAddr string) wq.Executor {
+	return MergeExecutorOpts(chirpAddr, MergeOptions{})
+}
+
+// MergeExecutorOpts is MergeExecutor with retry and fault-plane options.
+//
+// The executor is idempotent under whole-task re-dispatch: a replay that
+// finds an input missing checks for the merged output — when present,
+// the previous attempt completed before its result was lost, and the
+// replay reports success instead of failing the workflow. Input
+// cleanup likewise tolerates already-removed files.
+func MergeExecutorOpts(chirpAddr string, opts MergeOptions) wq.Executor {
 	return func(ctx *wq.ExecContext) error {
 		args := ctx.Task.Args
 		inputs := strings.Split(args["inputs"], ";")
@@ -30,26 +54,39 @@ func MergeExecutor(chirpAddr string) wq.Executor {
 		if len(inputs) == 0 || inputs[0] == "" || out == "" {
 			return fmt.Errorf("merge task needs inputs and output")
 		}
-		cl, err := chirp.Dial(chirpAddr, 30*time.Second)
-		if err != nil {
-			return err
+		d := &chirp.Dialer{
+			Addr:        chirpAddr,
+			DialTimeout: 30 * time.Second,
+			Retry:       opts.Retry,
+			Fault:       opts.Fault,
+			Tracer:      ctx.Tracer,
+			Parent:      ctx.Trace,
 		}
-		defer cl.Close()
-		cl.Trace(ctx.Tracer, ctx.Trace)
 		var merged []byte
 		for _, in := range inputs {
-			data, err := cl.GetFile(in)
+			data, err := d.GetFile(in)
 			if err != nil {
+				if errors.Is(err, chirp.ErrNotExist) {
+					// A previous attempt of this task may have already
+					// merged and removed the inputs.
+					if derr := d.Do(func(c *chirp.Client) error {
+						_, serr := c.Stat(out)
+						return serr
+					}); derr == nil {
+						return nil
+					}
+				}
 				return fmt.Errorf("fetching merge input %s: %w", in, err)
 			}
 			merged = append(merged, data...)
 		}
-		if err := cl.PutFile(out, merged); err != nil {
+		if err := d.PutFile(out, merged); err != nil {
 			return fmt.Errorf("writing merged output: %w", err)
 		}
-		// Clean up the small inputs; the merged file replaces them.
+		// Clean up the small inputs; the merged file replaces them. A
+		// missing input was removed by an earlier attempt — not an error.
 		for _, in := range inputs {
-			if err := cl.Unlink(in); err != nil {
+			if err := d.Unlink(in); err != nil && !errors.Is(err, chirp.ErrNotExist) {
 				return fmt.Errorf("removing merged input %s: %w", in, err)
 			}
 		}

@@ -17,11 +17,13 @@ import (
 	"lobster/internal/core"
 	"lobster/internal/cvmfs"
 	"lobster/internal/dbs"
+	"lobster/internal/faultinject"
 	"lobster/internal/frontier"
 	"lobster/internal/hdfs"
 	"lobster/internal/hepsim"
 	"lobster/internal/monitor"
 	"lobster/internal/parrot"
+	"lobster/internal/retry"
 	"lobster/internal/squid"
 	"lobster/internal/stats"
 	"lobster/internal/telemetry"
@@ -66,6 +68,19 @@ type Options struct {
 	// squid, and xrootd operations beneath them all join one trace per
 	// task.
 	Tracer *trace.Tracer
+	// Fault, when set, wires every component into the deterministic
+	// fault plane: the wq master's accepted connections, each worker's
+	// master connection and staging hooks, chirp server and client
+	// connections, xrootd replica connections, squid origin fetches, and
+	// the wrapper's per-segment hooks. Chaos tests script storms against
+	// these seams; a nil injector leaves the stack fault-free at zero
+	// cost.
+	Fault *faultinject.Injector
+	// Retry configures the client-path backoff policies armed when the
+	// stack should survive faults (chirp operations, xrootd fetches,
+	// squid origin fetches, worker staging). The zero value keeps every
+	// path single-attempt.
+	Retry retry.Policy
 }
 
 // Defaults fills unset fields.
@@ -185,7 +200,10 @@ func Start(opts Options) (*Stack, error) {
 	mux.Handle("/", cvmfs.NewServer(repo))
 	origin := httptest.NewServer(mux)
 	st.closers = append(st.closers, origin.Close)
-	st.Proxy, err = squid.New(origin.URL, squid.Config{})
+	st.Proxy, err = squid.New(origin.URL, squid.Config{
+		Fault: opts.Fault,
+		Retry: opts.Retry,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -216,6 +234,7 @@ func Start(opts Options) (*Stack, error) {
 	}
 	st.ChirpSrv.Instrument(opts.Telemetry)
 	st.ChirpSrv.Trace(opts.Tracer)
+	st.ChirpSrv.Fault(opts.Fault)
 	st.closers = append(st.closers, func() { st.ChirpSrv.Close() })
 
 	// Worker environment and registry.
@@ -223,7 +242,8 @@ func Start(opts Options) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	xcl := &xrootd.Client{Redirector: st.Redirector, Dashboard: st.Dashboard, Consumer: "lobster"}
+	xcl := &xrootd.Client{Redirector: st.Redirector, Dashboard: st.Dashboard,
+		Consumer: "lobster", Fault: opts.Fault, Retry: opts.Retry}
 	st.Env = &hepsim.Env{
 		ProxyURL:      proxySrv.URL,
 		Repo:          "cms.cern.ch",
@@ -231,13 +251,16 @@ func Start(opts Options) (*Stack, error) {
 		Cache:         cache,
 		ChirpAddr:     st.ChirpSrv.Addr(),
 		ConditionsTag: "align",
+		Fault:         opts.Fault,
+		ChirpRetry:    opts.Retry,
 		Open: func(lfn string) (hepsim.RemoteFile, error) {
 			return xcl.Open(lfn)
 		},
 		OpenTraced: func(lfn string, tr *trace.Tracer, ctx trace.Context) (hepsim.RemoteFile, error) {
 			// A fresh client per open: xrootd clients carry per-task
 			// trace state and tasks open files concurrently.
-			tcl := &xrootd.Client{Redirector: st.Redirector, Dashboard: st.Dashboard, Consumer: "lobster"}
+			tcl := &xrootd.Client{Redirector: st.Redirector, Dashboard: st.Dashboard,
+				Consumer: "lobster", Fault: opts.Fault, Retry: opts.Retry}
 			tcl.Trace(tr, ctx)
 			return tcl.Open(lfn)
 		},
@@ -245,7 +268,9 @@ func Start(opts Options) (*Stack, error) {
 	st.Registry = wq.Registry{
 		"analysis":   hepsim.Analysis(st.Env),
 		"simulation": hepsim.Simulation(st.Env),
-		"merge":      core.MergeExecutor(st.ChirpSrv.Addr()),
+		"merge": core.MergeExecutorOpts(st.ChirpSrv.Addr(), core.MergeOptions{
+			Retry: opts.Retry, Fault: opts.Fault,
+		}),
 	}
 
 	// Master and workers.
@@ -255,6 +280,7 @@ func Start(opts Options) (*Stack, error) {
 	}
 	master.Instrument(opts.Telemetry)
 	master.Trace(opts.Tracer)
+	master.Fault(opts.Fault)
 	st.Services.Master = master
 	st.closers = append(st.closers, func() { master.Close() })
 	for i := 0; i < opts.Workers; i++ {
@@ -273,8 +299,11 @@ func Start(opts Options) (*Stack, error) {
 func (st *Stack) AddWorker() (*wq.Worker, error) {
 	name := fmt.Sprintf("worker-%d", st.nWorkers)
 	st.nWorkers++
-	w, err := wq.NewWorker(st.Services.Master.Addr(), name, st.Options.CoresPerWorker,
-		filepath.Join(st.scratch, name), st.Registry)
+	w, err := wq.NewWorkerOpts(st.Services.Master.Addr(), name, st.Options.CoresPerWorker,
+		filepath.Join(st.scratch, name), st.Registry, wq.WorkerOptions{
+			Fault:      st.Options.Fault,
+			StageRetry: st.Options.Retry,
+		})
 	if err != nil {
 		return nil, fmt.Errorf("deploy: starting %s: %w", name, err)
 	}

@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+)
+
+// Transport wraps base so every round trip first consults the injector
+// under (component, "roundtrip") — the seam for squid origin fetches
+// and the CVMFS/frontier clients behind it. A nil injector returns base
+// unchanged (and a nil base means http.DefaultTransport, mirroring the
+// net/http convention).
+//
+// Verdicts: delay stalls then forwards; error and drop fail the request
+// (drop models the connection cut mid-request — net/http redials, so at
+// this layer both surface as a failed round trip); stall-kill stalls
+// then fails; corrupt forwards the request and flips the first byte of
+// the response body.
+func (in *Injector) Transport(component string, base http.RoundTripper) http.RoundTripper {
+	if in == nil {
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{base: base, in: in, component: component}
+}
+
+type faultTransport struct {
+	base      http.RoundTripper
+	in        *Injector
+	component string
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := t.in.Decide(t.component, "roundtrip")
+	switch v.Action {
+	case ActDelay:
+		t.in.sleep(v.Delay)
+	case ActError, ActDrop:
+		return nil, v.Err
+	case ActStallKill:
+		t.in.sleep(v.Delay)
+		return nil, v.Err
+	case ActCorrupt:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &corruptReader{rc: resp.Body}
+		return resp, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// corruptReader flips the first byte that passes through it.
+type corruptReader struct {
+	rc   io.ReadCloser
+	done bool
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 && !c.done {
+		p[0] ^= 0xff
+		c.done = true
+	}
+	return n, err
+}
+
+func (c *corruptReader) Close() error { return c.rc.Close() }

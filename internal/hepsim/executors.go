@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"lobster/internal/chirp"
+	"lobster/internal/faultinject"
 	"lobster/internal/frontier"
 	"lobster/internal/parrot"
+	"lobster/internal/retry"
 	"lobster/internal/stats"
 	"lobster/internal/trace"
 	"lobster/internal/wq"
@@ -48,6 +50,26 @@ type Env struct {
 	ConditionsTag string
 	// HTTPClient overrides the default client (tests inject one).
 	HTTPClient *http.Client
+	// Fault, when non-nil, arms per-segment fault hooks in the wrapper
+	// (component "wrapper", op = segment name) and wires chirp stage-out
+	// and pile-up connections into the fault plane.
+	Fault *faultinject.Injector
+	// ChirpRetry bounds redial-and-retry for the executors' chirp
+	// operations (stage-out put, pile-up get). The zero Policy keeps the
+	// old single-attempt behaviour.
+	ChirpRetry retry.Policy
+}
+
+// chirpDialer builds the hardened chirp access path for one segment.
+func (e *Env) chirpDialer(c *wrapper.StepContext) *chirp.Dialer {
+	return &chirp.Dialer{
+		Addr:        e.ChirpAddr,
+		DialTimeout: 30 * time.Second,
+		Retry:       e.ChirpRetry,
+		Fault:       e.Fault,
+		Tracer:      c.Tracer,
+		Parent:      c.Trace,
+	}
 }
 
 // OpenFunc opens an LFN for reading; the returned handle reports its size
@@ -114,7 +136,7 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 		events  int
 		delayMS = argInt(args, "delay_ms", 0)
 	)
-	rep := wrapper.RunTraced(ctx.Tracer, ctx.Trace,
+	rep := wrapper.RunInjected(env.Fault, ctx.Tracer, ctx.Trace,
 		wrapper.Step{Segment: wrapper.SegEnvInit, Run: func(c *wrapper.StepContext) error {
 			sleepMS(delayMS)
 			var err error
@@ -211,13 +233,8 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 				// Keep the output in the sandbox only.
 				return os.WriteFile(filepath.Join(ctx.Sandbox, "output.root"), output, 0o644)
 			}
-			cl, err := chirp.Dial(env.ChirpAddr, 30*time.Second)
-			if err != nil {
-				return err
-			}
-			defer cl.Close()
-			cl.Trace(c.Tracer, c.Trace)
-			if err := cl.PutFile(out, output); err != nil {
+			// PutFile is idempotent, so the dialer may replay it freely.
+			if err := env.chirpDialer(c).PutFile(out, output); err != nil {
 				return err
 			}
 			c.SetMetric("bytes_out", float64(len(output)))
@@ -300,7 +317,7 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 		signal []byte
 		output []byte
 	)
-	return wrapper.RunTraced(ctx.Tracer, ctx.Trace,
+	return wrapper.RunInjected(env.Fault, ctx.Tracer, ctx.Trace,
 		wrapper.Step{Segment: wrapper.SegEnvInit, Run: func(c *wrapper.StepContext) error {
 			var err error
 			kernel, err = NewKernel(argInt(args, "event_size", DefaultEventSize), argInt(args, "work", 1))
@@ -333,13 +350,8 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 			if pu == "" || env.ChirpAddr == "" {
 				return nil // pile-up overlay disabled
 			}
-			cl, err := chirp.Dial(env.ChirpAddr, 30*time.Second)
-			if err != nil {
-				return err
-			}
-			defer cl.Close()
-			cl.Trace(c.Tracer, c.Trace)
-			pileup, err = cl.GetFile(pu)
+			var err error
+			pileup, err = env.chirpDialer(c).GetFile(pu)
 			if err != nil {
 				return err
 			}
@@ -368,13 +380,7 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 			if out == "" || env.ChirpAddr == "" {
 				return os.WriteFile(filepath.Join(ctx.Sandbox, "output.root"), output, 0o644)
 			}
-			cl, err := chirp.Dial(env.ChirpAddr, 30*time.Second)
-			if err != nil {
-				return err
-			}
-			defer cl.Close()
-			cl.Trace(c.Tracer, c.Trace)
-			if err := cl.PutFile(out, output); err != nil {
+			if err := env.chirpDialer(c).PutFile(out, output); err != nil {
 				return err
 			}
 			c.SetMetric("bytes_out", float64(len(output)))

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"time"
 
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
@@ -55,6 +57,15 @@ type Config struct {
 	// Client performs origin requests; nil means http.DefaultClient with a
 	// 30 s timeout.
 	Client *http.Client
+	// Fault, when non-nil, wraps the origin client's transport so every
+	// origin round trip consults the fault plane under component
+	// "squid_origin".
+	Fault *faultinject.Injector
+	// Retry bounds repeated origin fetches on transport failures and 5xx
+	// responses. The zero Policy keeps the old single-attempt behaviour.
+	// Coalesced waiters share the retried fetch, so a storm of identical
+	// requests still costs one origin attempt sequence.
+	Retry retry.Policy
 }
 
 // Proxy is a caching HTTP proxy in front of a single origin base URL.
@@ -63,6 +74,7 @@ type Config struct {
 type Proxy struct {
 	origin *url.URL
 	client *http.Client
+	retry  retry.Policy
 	sem    chan struct{}
 
 	mu       sync.Mutex
@@ -175,9 +187,16 @@ func New(origin string, cfg Config) (*Proxy, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.Fault != nil {
+		// Clone so the caller's client is not mutated.
+		cl := *client
+		cl.Transport = cfg.Fault.Transport("squid_origin", client.Transport)
+		client = &cl
+	}
 	return &Proxy{
 		origin:   u,
 		client:   client,
+		retry:    cfg.Retry,
 		sem:      make(chan struct{}, cfg.MaxOriginConns),
 		capacity: cfg.CapacityBytes,
 		lru:      list.New(),
@@ -349,31 +368,44 @@ func (p *Proxy) fetchOrigin(key string, wireCtx, spanCtx trace.Context) (*entry,
 		sp.Attr("origin", p.origin.Host)
 	}
 	defer sp.End()
-	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
-	if err != nil {
-		return nil, err
-	}
-	// Chain under the local span, or relay the client's context when
-	// this proxy is untraced in an otherwise traced stack.
-	sp.Context().OrElse(wireCtx).SetHTTP(req.Header)
-	resp, err := p.client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("origin status %s for %s", resp.Status, key)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
+	var body []byte
 	hdr := make(http.Header)
-	for _, k := range []string{"Content-Type", "Cache-Control"} {
-		if v := resp.Header.Get(k); v != "" {
-			hdr.Set(k, v)
+	err := p.retry.Do(func() error {
+		req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+		if err != nil {
+			return retry.Permanent(err)
 		}
+		// Chain under the local span, or relay the client's context when
+		// this proxy is untraced in an otherwise traced stack.
+		sp.Context().OrElse(wireCtx).SetHTTP(req.Header)
+		resp, err := p.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			err := fmt.Errorf("origin status %s for %s", resp.Status, key)
+			if resp.StatusCode < 500 {
+				// 4xx is the origin's final word; 5xx may be a transient
+				// overload worth another attempt.
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		body, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		for _, k := range []string{"Content-Type", "Cache-Control"} {
+			if v := resp.Header.Get(k); v != "" {
+				hdr.Set(k, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	p.mu.Lock()
 	p.stats.BytesFetched += int64(len(body))

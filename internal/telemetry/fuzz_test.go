@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEvents throws arbitrary byte streams at the JSONL event-log
+// reader — including torn final lines (a crash mid-append) and garbage
+// between valid records. The reader must never panic, and every event
+// it delivers must carry a type (the replay dispatch key).
+func FuzzReadEvents(f *testing.F) {
+	f.Add([]byte(`{"t":1,"type":"task","data":{"id":3}}` + "\n"))
+	f.Add([]byte(`{"t":1,"type":"task"}` + "\n" + `{"t":2,"type":"trace","data":{}}` + "\n"))
+	f.Add([]byte(`{"t":1,"type":"task"}` + "\n" + `{"t":2,"ty`)) // torn tail
+	f.Add([]byte(`{"t":1,"ty` + "\n" + `{"t":2,"type":"task"}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(`{"t":"not a number","type":7}` + "\n"))
+	f.Add([]byte{0, 1, 2, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seen := 0
+		err := ReadEvents(bytes.NewReader(data), func(ev Event) error {
+			seen++
+			return nil
+		})
+		if err != nil && seen == 0 && bytes.IndexByte(data, '\n') == -1 {
+			// A single torn line with no newline is the canonical
+			// crash-mid-append shape and must be tolerated.
+			t.Fatalf("torn single line rejected: %v", err)
+		}
+	})
+}

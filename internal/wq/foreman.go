@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lobster/internal/faultinject"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
@@ -79,9 +80,23 @@ func (f *Foreman) Instrument(reg *telemetry.Registry) {
 		})
 }
 
+// ForemanOptions configures NewForemanOpts.
+type ForemanOptions struct {
+	// Fault, when non-nil, wraps the foreman's upstream connection under
+	// component "wq_foreman" and installs itself on the internal
+	// downstream master (so downstream worker connections are wrapped
+	// under "wq_master" as usual).
+	Fault *faultinject.Injector
+}
+
 // NewForeman connects to the master at upstreamAddr, advertising cores
 // upstream, and listens for downstream workers on listenAddr.
 func NewForeman(upstreamAddr, listenAddr, name string, cores int) (*Foreman, error) {
+	return NewForemanOpts(upstreamAddr, listenAddr, name, cores, ForemanOptions{})
+}
+
+// NewForemanOpts is NewForeman with fault-plane options.
+func NewForemanOpts(upstreamAddr, listenAddr, name string, cores int, opts ForemanOptions) (*Foreman, error) {
 	if cores < 1 {
 		return nil, fmt.Errorf("wq: foreman needs at least one core")
 	}
@@ -89,11 +104,13 @@ func NewForeman(upstreamAddr, listenAddr, name string, cores int) (*Foreman, err
 	if err != nil {
 		return nil, fmt.Errorf("wq: foreman downstream: %w", err)
 	}
+	down.Fault(opts.Fault)
 	raw, err := net.DialTimeout("tcp", upstreamAddr, 30*time.Second)
 	if err != nil {
 		down.Close()
 		return nil, fmt.Errorf("wq: foreman dialing master: %w", err)
 	}
+	raw = opts.Fault.Conn("wq_foreman", raw)
 	f := &Foreman{
 		name:     name,
 		cores:    cores,

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lobster/internal/faultinject"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
@@ -55,13 +56,26 @@ type Master struct {
 	statsDispatched                                             int
 	statsBytesOut, statsBytesIn                                 int64
 
-	// tel is installed after the accept loop is already running, so
-	// publication must be atomic. tracer is guarded by mu.
+	// tel and fault are installed after the accept loop is already
+	// running, so publication must be atomic. tracer is guarded by mu.
 	tel    atomic.Pointer[masterTelemetry]
+	fault  atomic.Pointer[faultinject.Injector]
 	tracer *trace.Tracer
 	traces map[int64]*taskTrace // by task ID; nil unless Trace was called
 
 	wg sync.WaitGroup
+}
+
+// Fault wires the master into the fault plane: newly accepted worker
+// and foreman connections are wrapped so their reads and writes consult
+// inj under component "wq_master". The master's requeue accounting
+// turns the resulting connection losses into re-dispatches, which is
+// exactly what chaos storms assert on. Call before traffic; nil is a
+// no-op.
+func (m *Master) Fault(inj *faultinject.Injector) {
+	if inj != nil {
+		m.fault.Store(inj)
+	}
 }
 
 // masterTelemetry holds the master's instruments. The zero value (nil
@@ -339,6 +353,7 @@ func (m *Master) acceptLoop() {
 		if err != nil {
 			return
 		}
+		raw = m.fault.Load().Conn("wq_master", raw)
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()

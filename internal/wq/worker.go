@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
@@ -25,6 +27,9 @@ type Worker struct {
 	dir   string
 	cache *contentCache
 	conn  *conn
+
+	fault      *faultinject.Injector
+	stageRetry retry.Policy
 
 	slots   chan struct{}
 	wg      sync.WaitGroup
@@ -101,10 +106,28 @@ func (w *Worker) Instrument(reg *telemetry.Registry) {
 	})
 }
 
+// WorkerOptions configures NewWorkerOpts beyond the required plumbing.
+type WorkerOptions struct {
+	// Fault, when non-nil, wraps the worker's master connection so its
+	// reads and writes consult the fault plane under component
+	// "wq_worker", and arms Check hooks in stage-in and stage-out
+	// (ops "stage_in" / "stage_out").
+	Fault *faultinject.Injector
+	// StageRetry bounds retries of individual sandbox file writes and
+	// reads during staging. The zero Policy keeps the old behaviour:
+	// first error fails the task.
+	StageRetry retry.Policy
+}
+
 // NewWorker connects a worker to the master at addr. dir is the worker's
 // scratch directory (sandboxes and cache live beneath it). The registry maps
 // the executor names tasks will reference.
 func NewWorker(addr, name string, cores int, dir string, reg Registry) (*Worker, error) {
+	return NewWorkerOpts(addr, name, cores, dir, reg, WorkerOptions{})
+}
+
+// NewWorkerOpts is NewWorker with fault-plane and staging-retry options.
+func NewWorkerOpts(addr, name string, cores int, dir string, reg Registry, opts WorkerOptions) (*Worker, error) {
 	if cores < 1 {
 		return nil, fmt.Errorf("wq: worker needs at least one core")
 	}
@@ -115,14 +138,17 @@ func NewWorker(addr, name string, cores int, dir string, reg Registry) (*Worker,
 	if err != nil {
 		return nil, fmt.Errorf("wq: worker dialing %s: %w", addr, err)
 	}
+	raw = opts.Fault.Conn("wq_worker", raw)
 	w := &Worker{
-		name:  name,
-		cores: cores,
-		reg:   reg,
-		dir:   dir,
-		cache: newContentCache(),
-		conn:  newConn(raw),
-		slots: make(chan struct{}, cores),
+		name:       name,
+		cores:      cores,
+		reg:        reg,
+		dir:        dir,
+		cache:      newContentCache(),
+		conn:       newConn(raw),
+		fault:      opts.Fault,
+		stageRetry: opts.StageRetry,
+		slots:      make(chan struct{}, cores),
 	}
 	if err := w.conn.send(&message{Type: "hello", Name: name, Cores: cores}); err != nil {
 		raw.Close()
@@ -259,10 +285,19 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 	defer os.RemoveAll(sandbox)
 	for _, f := range t.Inputs {
 		dst := filepath.Join(sandbox, filepath.FromSlash(f.Name))
-		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-			return fail(170, "stage-in: %v", err)
-		}
-		if err := os.WriteFile(dst, f.Data, 0o644); err != nil {
+		// Each file lands under the staging retry policy with the fault
+		// hook inside the attempt, so injected staging faults exercise
+		// the same recovery path as a flaky local disk.
+		err := w.stageRetry.Do(func() error {
+			if err := w.fault.Check("wq_worker", "stage_in"); err != nil {
+				return err
+			}
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				return err
+			}
+			return os.WriteFile(dst, f.Data, 0o644)
+		})
+		if err != nil {
 			return fail(170, "stage-in: %v", err)
 		}
 		res.Stats.BytesIn += int64(len(f.Data))
@@ -318,7 +353,20 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 	outStart := time.Now()
 	soSpan = tracer.Start(run.Context(), "worker", "stage_out")
 	for _, name := range t.Outputs {
-		data, err := os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
+		var data []byte
+		err := w.stageRetry.Do(func() error {
+			if err := w.fault.Check("wq_worker", "stage_out"); err != nil {
+				return err
+			}
+			var rerr error
+			data, rerr = os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
+			if rerr != nil {
+				// A declared output that never appeared will not appear on
+				// a retry either — the executor has already finished.
+				return retry.Permanent(rerr)
+			}
+			return nil
+		})
 		if err != nil {
 			return fail(171, "stage-out: declared output %s missing: %v", name, err)
 		}

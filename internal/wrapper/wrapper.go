@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"time"
 
+	"lobster/internal/faultinject"
 	"lobster/internal/trace"
 )
 
@@ -170,6 +171,16 @@ func Run(steps ...Step) *Report {
 // clients used inside chain under it. Segment metrics become span
 // attributes. A nil tracer or invalid parent behaves exactly like Run.
 func RunTraced(tr *trace.Tracer, parent trace.Context, steps ...Step) *Report {
+	return RunInjected(nil, tr, parent, steps...)
+}
+
+// RunInjected is RunTraced wired into the fault plane: before each
+// segment runs, the injector is consulted under (component "wrapper",
+// op = segment name). An injected fault fails the segment with its
+// usual exit-code base — from the monitoring side an injected
+// conditions outage is indistinguishable from a real one, which is the
+// point. A nil injector behaves exactly like RunTraced.
+func RunInjected(inj *faultinject.Injector, tr *trace.Tracer, parent trace.Context, steps ...Step) *Report {
 	rep := &Report{}
 	for _, step := range steps {
 		sr := SegmentReport{Segment: step.Segment, Start: time.Now(), Metrics: map[string]float64{}}
@@ -178,7 +189,7 @@ func RunTraced(tr *trace.Tracer, parent trace.Context, steps ...Step) *Report {
 		if tr != nil && parent.Valid() {
 			sp = tr.Start(parent, "wrapper", string(step.Segment))
 		}
-		if step.Run != nil {
+		if err = inj.Check("wrapper", string(step.Segment)); err == nil && step.Run != nil {
 			ctx := &StepContext{metrics: sr.Metrics, Tracer: tr, Trace: sp.Context().OrElse(parent)}
 			err = func() (err error) {
 				defer func() {

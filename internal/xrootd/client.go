@@ -9,18 +9,37 @@ import (
 	"strings"
 	"time"
 
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
 	"lobster/internal/trace"
 )
 
 // Client opens LFNs through a redirector, streaming content from whichever
 // replica answers and failing over between replicas on error. Consumer names
 // the accounting entity (site or user) for the Dashboard.
+//
+// Failure handling: each replica pass tries every replica once, skipping
+// to the next on transport failures and stopping early on permanent
+// (server-reported or protocol) errors. When Retry is configured, whole
+// passes repeat under bounded exponential backoff — the WAN read path
+// in the paper's environment sees transient replica outages that clear
+// within seconds, so a second pass usually lands.
 type Client struct {
 	Redirector *Redirector
 	Dashboard  *Dashboard
 	Consumer   string
 	// DialTimeout bounds each connection attempt (default 10 s).
 	DialTimeout time.Duration
+	// OpTimeout bounds each protocol round trip via a connection
+	// deadline (0 = unbounded).
+	OpTimeout time.Duration
+	// Retry bounds repeated replica passes on transport failures. The
+	// zero Policy keeps the old behaviour: one pass, fail over between
+	// replicas, surface the first error when all fail.
+	Retry retry.Policy
+	// Fault, when non-nil, wires replica connections into the fault
+	// plane under component "xrootd_client".
+	Fault *faultinject.Injector
 
 	tracer *trace.Tracer
 	parent trace.Context
@@ -37,6 +56,11 @@ func (c *Client) Trace(tr *trace.Tracer, parent trace.Context) {
 }
 
 // File is an open remote file. Not safe for concurrent use.
+//
+// Any transport failure closes the connection and marks the file
+// broken: the line protocol has no resync point, so later operations
+// short-circuit with the original classification (retryable — reopen
+// and try again).
 type File struct {
 	client *Client
 	lfn    string
@@ -45,10 +69,28 @@ type File struct {
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
+	broken bool
+	addr   string
 }
 
+// fail closes the connection after a transport failure and returns err.
+func (f *File) fail(err error) error {
+	if !f.broken {
+		f.broken = true
+		f.conn.Close()
+	}
+	return err
+}
+
+// Broken reports whether a transport failure has poisoned this file's
+// connection; a broken file must be reopened.
+func (f *File) Broken() bool { return f.broken }
+
+var errBroken = fmt.Errorf("xrootd: connection broken by earlier failure")
+
 // Open resolves lfn and connects to a replica. Replicas are tried in the
-// order the redirector returns them.
+// order the redirector returns them; configured retries repeat the whole
+// pass with backoff.
 func (c *Client) Open(lfn string) (*File, error) {
 	return c.open(lfn, c.parent)
 }
@@ -60,12 +102,32 @@ func (c *Client) open(lfn string, pctx trace.Context) (*File, error) {
 		sp.Attr("lfn", lfn)
 	}
 	defer sp.End()
-	reps, err := c.Redirector.Locate(lfn)
+	var f *File
+	err := c.Retry.Do(func() error {
+		var err error
+		f, err = c.openPass(lfn, sp)
+		return err
+	})
 	if err != nil {
 		sp.Attr("error", err.Error())
 		return nil, err
 	}
+	return f, nil
+}
+
+// openPass makes one pass over the replicas, failing over to the next
+// on any error (a replica reporting "unavailable" in protocol is the
+// canonical failover trigger). The aggregate error is permanent only
+// when every replica failed permanently — one transient failure makes
+// the whole pass worth retrying.
+func (c *Client) openPass(lfn string, sp *trace.Span) (*File, error) {
+	reps, err := c.Redirector.Locate(lfn)
+	if err != nil {
+		// An unknown LFN will stay unknown: no point re-asking.
+		return nil, retry.Permanent(err)
+	}
 	var firstErr error
+	allPermanent := true
 	for i, rep := range reps {
 		f, err := c.openAt(lfn, rep)
 		if err == nil {
@@ -73,12 +135,20 @@ func (c *Client) open(lfn string, pctx trace.Context) (*File, error) {
 			sp.AttrInt("attempts", int64(i+1))
 			return f, nil
 		}
+		if !retry.IsPermanent(err) {
+			allPermanent = false
+		}
 		if firstErr == nil {
 			firstErr = err
 		}
 	}
-	sp.Attr("error", firstErr.Error())
-	return nil, fmt.Errorf("xrootd: all %d replicas of %s failed: %w", len(reps), lfn, firstErr)
+	err = fmt.Errorf("xrootd: all %d replicas of %s failed: %w", len(reps), lfn, firstErr)
+	if allPermanent {
+		// %w keeps firstErr visible to errors.Is; the outer marker stops
+		// the retry loop from re-running a pass that cannot succeed.
+		err = retry.Permanent(err)
+	}
+	return nil, err
 }
 
 func (c *Client) openAt(lfn string, rep Replica) (*File, error) {
@@ -90,41 +160,55 @@ func (c *Client) openAt(lfn string, rep Replica) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xrootd: dialing %s: %w", rep.Addr, err)
 	}
+	conn = c.Fault.Conn("xrootd_client", conn)
 	f := &File{
 		client: c,
 		lfn:    lfn,
 		conn:   conn,
 		r:      bufio.NewReaderSize(conn, 64<<10),
 		w:      bufio.NewWriterSize(conn, 8<<10),
+		addr:   rep.Addr,
 	}
 	size, err := f.roundTripSize("open %s\n", lfn)
 	if err != nil {
-		conn.Close()
+		f.fail(err)
 		return nil, err
 	}
 	f.size = size
 	return f, nil
 }
 
-// roundTripSize sends one command and parses a numeric first response line.
+// roundTripSize sends one command and parses a numeric first response
+// line. Transport failures close the connection; a "-1" response maps
+// to *ServerError (permanent, connection intact); a non-numeric
+// response maps to *ProtocolError (permanent, connection closed).
 func (f *File) roundTripSize(format string, args ...any) (int64, error) {
+	if f.broken {
+		return 0, errBroken
+	}
+	if t := f.client.OpTimeout; t > 0 {
+		f.conn.SetDeadline(time.Now().Add(t))
+	}
 	if _, err := fmt.Fprintf(f.w, format, args...); err != nil {
-		return 0, err
+		return 0, f.fail(err)
 	}
 	if err := f.w.Flush(); err != nil {
-		return 0, err
+		return 0, f.fail(err)
 	}
 	line, err := f.r.ReadString('\n')
 	if err != nil {
-		return 0, fmt.Errorf("xrootd: reading response: %w", err)
+		return 0, f.fail(fmt.Errorf("xrootd: reading response: %w", err))
 	}
 	line = strings.TrimRight(line, "\r\n")
 	if strings.HasPrefix(line, "-1") {
-		return 0, fmt.Errorf("xrootd: server error: %s", strings.TrimSpace(strings.TrimPrefix(line, "-1")))
+		return 0, &ServerError{Replica: f.addr,
+			Msg: strings.TrimSpace(strings.TrimPrefix(line, "-1"))}
 	}
 	n, err := strconv.ParseInt(line, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("xrootd: bad response %q", line)
+		perr := &ProtocolError{Replica: f.addr, Msg: fmt.Sprintf("bad response %q", line)}
+		f.fail(perr)
+		return 0, perr
 	}
 	return n, nil
 }
@@ -161,23 +245,33 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	if n > int64(len(p)) {
-		return 0, fmt.Errorf("xrootd: server over-answered: %d > %d", n, len(p))
+		perr := &ProtocolError{Replica: f.addr,
+			Msg: fmt.Sprintf("server over-answered: %d > %d", n, len(p))}
+		f.fail(perr)
+		return 0, perr
 	}
 	if _, err := io.ReadFull(f.r, p[:n]); err != nil {
-		return 0, fmt.Errorf("xrootd: short payload: %w", err)
+		return 0, f.fail(fmt.Errorf("xrootd: short payload: %w", err))
 	}
 	f.client.Dashboard.Record(f.client.Consumer, n)
 	return int(n), nil
 }
 
-// Close releases the connection.
+// Close releases the connection. A broken connection is already closed.
 func (f *File) Close() error {
+	if f.broken {
+		return nil
+	}
+	f.broken = true
 	fmt.Fprint(f.w, "quit\n")
 	f.w.Flush()
 	return f.conn.Close()
 }
 
 // Fetch streams the whole file into memory, the staging-style access.
+// Configured retries restart the fetch from scratch on transport
+// failures (the fetch grain keeps the retry idempotent — partial reads
+// are discarded).
 func (c *Client) Fetch(lfn string) ([]byte, error) {
 	var sp *trace.Span
 	if c.tracer != nil && c.parent.Valid() {
@@ -185,9 +279,26 @@ func (c *Client) Fetch(lfn string) ([]byte, error) {
 		sp.Attr("lfn", lfn)
 	}
 	defer sp.End()
-	f, err := c.open(lfn, sp.Context().OrElse(c.parent))
+	var buf []byte
+	err := c.Retry.Do(func() error {
+		var err error
+		buf, err = c.fetchOnce(lfn, sp)
+		return err
+	})
 	if err != nil {
 		sp.Attr("error", err.Error())
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (c *Client) fetchOnce(lfn string, sp *trace.Span) ([]byte, error) {
+	// One replica pass per fetch attempt: the outer policy in Fetch owns
+	// backoff, so the inner open must not retry on its own.
+	inner := *c
+	inner.Retry = retry.Policy{}
+	f, err := inner.openPass(lfn, sp)
+	if err != nil {
 		return nil, err
 	}
 	defer f.Close()

@@ -1,0 +1,58 @@
+package xrootd
+
+import (
+	"errors"
+
+	"lobster/internal/retry"
+)
+
+// Error classification mirrors chirp's: transport failures (dials,
+// resets, timeouts, short payloads) are retryable on a fresh replica
+// connection; server-reported errors and protocol violations are
+// permanent — the replica answered, and asking again gets the same
+// answer.
+
+// ErrServer matches every server-reported ("-1 ...") error.
+var ErrServer = errors.New("xrootd: server error")
+
+// ErrProtocol matches malformed-response errors.
+var ErrProtocol = errors.New("xrootd: protocol error")
+
+// ServerError is an error a replica reported in protocol.
+type ServerError struct {
+	Replica string // address of the replica that answered
+	Msg     string
+}
+
+// Error implements the error interface.
+func (e *ServerError) Error() string {
+	return "xrootd: server error: " + e.Msg
+}
+
+// Is matches ErrServer and retry.ErrPermanent.
+func (e *ServerError) Is(target error) bool {
+	return target == ErrServer || target == retry.ErrPermanent
+}
+
+// ProtocolError is a malformed response: the peer answered out of
+// protocol, desynchronising the stream. Permanent.
+type ProtocolError struct {
+	Replica string
+	Msg     string
+}
+
+// Error implements the error interface.
+func (e *ProtocolError) Error() string {
+	return "xrootd: protocol error: " + e.Msg
+}
+
+// Is matches ErrProtocol and retry.ErrPermanent.
+func (e *ProtocolError) Is(target error) bool {
+	return target == ErrProtocol || target == retry.ErrPermanent
+}
+
+// IsRetryable reports whether an xrootd error is worth retrying on a
+// fresh connection (possibly to a different replica).
+func IsRetryable(err error) bool {
+	return err != nil && !retry.IsPermanent(err)
+}

@@ -1,0 +1,137 @@
+package xrootd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
+)
+
+func TestServerErrorClassification(t *testing.T) {
+	srv := newServer(t, "T2_CLASSIFY")
+	red := NewRedirector()
+	red.Register("/f", srv.Store("/f", []byte("x")))
+	srv.SetDown(true)
+
+	c := &Client{Redirector: red, Consumer: "c"}
+	_, err := c.Open("/f")
+	if err == nil {
+		t.Fatal("open succeeded with replica down")
+	}
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *ServerError in chain", err, err)
+	}
+	if !errors.Is(err, ErrServer) {
+		t.Error("down-replica error does not match ErrServer")
+	}
+	// All replicas failed permanently → the aggregate is permanent.
+	if !retry.IsPermanent(err) {
+		t.Error("all-permanent pass not classified permanent")
+	}
+}
+
+func TestUnknownLFNPermanent(t *testing.T) {
+	c := &Client{Redirector: NewRedirector(), Consumer: "c",
+		Retry: retry.Policy{MaxAttempts: 5, Sleep: func(time.Duration) {}}}
+	start := time.Now()
+	_, err := c.Open("/no/such/lfn")
+	if err == nil {
+		t.Fatal("open of unknown LFN succeeded")
+	}
+	if !retry.IsPermanent(err) {
+		t.Error("unknown-LFN error not permanent")
+	}
+	var re *retry.Error
+	if errors.As(err, &re) && re.Attempts != 1 {
+		t.Errorf("unknown LFN retried %d times", re.Attempts)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("permanent error burned backoff time")
+	}
+}
+
+func TestTransportFaultMarksFileBroken(t *testing.T) {
+	srv := newServer(t, "T2_FAULTY")
+	red := NewRedirector()
+	content := bytes.Repeat([]byte("data"), 1000)
+	red.Register("/f", srv.Store("/f", content))
+
+	// Let the open succeed (reads 1–2: open request's response), then
+	// drop the connection on a later read.
+	inj := faultinject.New(&faultinject.Plan{
+		Seed: 11,
+		Rules: []faultinject.Rule{{
+			Component: "xrootd_client", Op: "read",
+			Action: faultinject.ActDrop, After: 1, Times: 1,
+		}},
+	})
+	c := &Client{Redirector: red, Dashboard: NewDashboard(), Consumer: "c", Fault: inj}
+	f, err := c.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(content))
+	if _, err := f.ReadAt(buf, 0); err == nil {
+		t.Fatal("ReadAt succeeded despite injected drop")
+	}
+	if !f.Broken() {
+		t.Fatal("transport failure did not mark the file broken")
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, errBroken) {
+		t.Fatalf("broken file op = %v, want errBroken", err)
+	}
+	f.Close() // no-op on broken file, must not panic
+}
+
+func TestFetchRetriesTransportFaults(t *testing.T) {
+	srv := newServer(t, "T2_RECOVERS")
+	red := NewRedirector()
+	content := bytes.Repeat([]byte("payload!"), 64<<10/8)
+	red.Register("/big", srv.Store("/big", content))
+
+	// Kill the first fetch attempt mid-stream; the retry runs clean.
+	inj := faultinject.New(&faultinject.Plan{
+		Seed: 12,
+		Rules: []faultinject.Rule{{
+			Component: "xrootd_client", Op: "read",
+			Action: faultinject.ActDrop, After: 2, Times: 1,
+		}},
+	})
+	c := &Client{
+		Redirector: red, Dashboard: NewDashboard(), Consumer: "c",
+		Fault: inj,
+		Retry: retry.Policy{MaxAttempts: 4, Sleep: func(time.Duration) {}},
+	}
+	got, err := c.Fetch("/big")
+	if err != nil {
+		t.Fatalf("fetch with retries: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("fetched content mismatch after retry")
+	}
+	if inj.TotalFired() != 1 {
+		t.Fatalf("fired = %d, want 1", inj.TotalFired())
+	}
+}
+
+func TestProtocolErrorClassification(t *testing.T) {
+	pe := &ProtocolError{Replica: "x:1", Msg: "bad response"}
+	if !errors.Is(pe, ErrProtocol) || !errors.Is(pe, retry.ErrPermanent) {
+		t.Error("protocol error classification wrong")
+	}
+	if IsRetryable(pe) {
+		t.Error("protocol error classified retryable")
+	}
+	se := &ServerError{Replica: "x:1", Msg: "boom"}
+	if IsRetryable(se) {
+		t.Error("server error classified retryable")
+	}
+	if !IsRetryable(errors.New("connection reset")) {
+		t.Error("plain transport error classified permanent")
+	}
+}
