@@ -4,7 +4,7 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard
+.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane
 
 all: check
 
@@ -47,3 +47,11 @@ bench-kernel:
 # the BENCH_kernel.json baseline (best-of-3 vs best-of-baseline).
 bench-guard:
 	$(GO) run ./cmd/bench-guard
+
+# Streaming data-plane guard: reruns the chirp/xrootd/squid transfer
+# benchmarks against BENCH_dataplane.json. Allocated bytes per op are
+# deterministic and guarded at 5%; wall clock gets a loose 50% bound
+# because shared-host minima jitter (tighten with -time-tolerance on
+# quiet hardware).
+bench-dataplane:
+	$(GO) run ./cmd/bench-guard -dataplane

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Data-plane guard: reruns the streaming-transfer benchmarks (chirp
+// get/put/round-trip/stage-in, xrootd fetch, squid cold wave) and fails
+// if either wall time or allocated bytes regressed beyond the tolerance
+// against the pinned "after" baselines in BENCH_dataplane.json.
+//
+// Time compares best-of-N against best-of-baseline (shared machines are
+// noisy upward, almost never downward) under the loose -time-tolerance
+// bound. Allocated bytes per op are deterministic, so they get the
+// tight -tolerance guard: the streaming plane's core claim is that
+// transfers no longer allocate payload-sized buffers, and any change
+// that reintroduces one jumps B/op by megabytes — tripping the 5%
+// bound regardless of host noise.
+
+// dataplaneBaseline is the BENCH_dataplane.json schema.
+type dataplaneBaseline struct {
+	Note       string           `json:"note"`
+	Recorded   string           `json:"recorded"`
+	Benchmarks []dataplaneBench `json:"benchmarks"`
+}
+
+type dataplaneBench struct {
+	Pkg   string `json:"pkg"`   // go test package, e.g. ./internal/chirp/
+	Bench string `json:"bench"` // full benchmark name incl. sub-benchmark
+
+	// Before: the seed's buffered dial-per-operation path, pinned for
+	// the historical record (not re-runnable; that code is gone).
+	BeforeNsOp    float64 `json:"before_ns_op"`
+	BeforeBytesOp float64 `json:"before_alloc_bytes_op"`
+
+	// After: the streaming plane. NsOp holds min-of-run samples;
+	// BytesOp is the allocation footprint per operation.
+	AfterNsOp    []float64 `json:"after_ns_op"`
+	AfterBytesOp float64   `json:"after_alloc_bytes_op"`
+}
+
+// benchResult is one benchmark's fresh measurements.
+type benchResult struct {
+	nsOp    []float64
+	bytesOp []float64
+}
+
+func runDataplane(baselinePath string, tolerance, timeTol float64, count int, benchtime string, update bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base dataplaneBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks", baselinePath)
+	}
+
+	// One go test invocation per package, all of its benchmarks at once.
+	byPkg := make(map[string][]*dataplaneBench)
+	var pkgs []string
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		if len(byPkg[b.Pkg]) == 0 {
+			pkgs = append(pkgs, b.Pkg)
+		}
+		byPkg[b.Pkg] = append(byPkg[b.Pkg], b)
+	}
+
+	fresh := make(map[string]*benchResult)
+	for _, pkg := range pkgs {
+		names := make([]string, len(byPkg[pkg]))
+		for i, b := range byPkg[pkg] {
+			names[i] = "^" + strings.SplitN(b.Bench, "/", 2)[0] + "$"
+		}
+		pattern := strings.Join(dedup(names), "|")
+		fmt.Printf("running %s -bench '%s', %d×%s...\n", pkg, pattern, count, benchtime)
+		cmd := exec.Command("go", "test", pkg, "-run", "^$",
+			"-bench", pattern, "-benchmem", "-benchtime", benchtime,
+			"-count", strconv.Itoa(count))
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("go test %s: %w\n%s", pkg, err, out)
+		}
+		for name, r := range parseBenchmem(string(out)) {
+			fresh[pkg+" "+name] = r
+		}
+	}
+
+	var failures []string
+	for i := range base.Benchmarks {
+		b := &base.Benchmarks[i]
+		r := fresh[b.Pkg+" "+b.Bench]
+		if r == nil || len(r.nsOp) == 0 {
+			failures = append(failures, fmt.Sprintf("%s %s: no samples collected", b.Pkg, b.Bench))
+			continue
+		}
+		if update {
+			b.AfterNsOp = r.nsOp
+			b.AfterBytesOp = minF(r.bytesOp)
+			continue
+		}
+		freshNs, baseNs := minF(r.nsOp), minF(b.AfterNsOp)
+		freshB := minF(r.bytesOp)
+		fmt.Printf("%-55s %10.1fms vs %10.1fms (%+.1f%%)  %8.0f B/op vs %8.0f\n",
+			b.Bench, freshNs/1e6, baseNs/1e6, 100*(freshNs/baseNs-1), freshB, b.AfterBytesOp)
+		if freshNs > baseNs*(1+timeTol) {
+			failures = append(failures, fmt.Sprintf("%s: best %.1fms vs baseline %.1fms exceeds %.0f%% bound",
+				b.Bench, freshNs/1e6, baseNs/1e6, 100*timeTol))
+		}
+		if b.AfterBytesOp > 0 && freshB > b.AfterBytesOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f B/op vs baseline %.0f exceeds %.0f%% bound — a payload-sized allocation crept back in",
+				b.Bench, freshB, b.AfterBytesOp, 100*tolerance))
+		}
+	}
+
+	if update {
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s with fresh after samples\n", baselinePath)
+		return nil
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("data-plane regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("ok: data plane within budget")
+	return nil
+}
+
+// benchmemLineRe matches "BenchmarkName  N  X ns/op ... Y B/op  Z allocs/op"
+// (no -cpu suffix on a GOMAXPROCS=1 host; strip it when present).
+var benchmemLineRe = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op.*?\s(\d+) B/op`)
+
+func parseBenchmem(out string) map[string]*benchResult {
+	res := make(map[string]*benchResult)
+	for _, m := range benchmemLineRe.FindAllStringSubmatch(out, -1) {
+		ns, err1 := strconv.ParseFloat(m[2], 64)
+		by, err2 := strconv.ParseFloat(m[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		r := res[m[1]]
+		if r == nil {
+			r = &benchResult{}
+			res[m[1]] = r
+		}
+		r.nsOp = append(r.nsOp, ns)
+		r.bytesOp = append(r.bytesOp, by)
+	}
+	return res
+}
+
+func dedup(xs []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func minF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}

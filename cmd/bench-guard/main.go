@@ -32,14 +32,30 @@ const (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "BENCH_kernel.json", "baseline file holding the pinned ns/op samples")
-		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional regression of best ns/op")
+		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json, or BENCH_dataplane.json with -dataplane)")
+		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional regression of best ns/op (of B/op with -dataplane)")
+		timeTol   = flag.Float64("time-tolerance", 0.50, "with -dataplane: allowed fractional regression of best ns/op; wall clock on shared hosts jitters far more than allocations, tighten on quiet hardware")
 		count     = flag.Int("count", 3, "benchmark repetitions (best of N)")
 		benchtime = flag.String("benchtime", "5x", "go test -benchtime per repetition")
 		update    = flag.Bool("update", false, "rewrite the baseline samples with this run's numbers")
+		dataplane = flag.Bool("dataplane", false, "guard the streaming data-plane benchmarks instead of the simulation kernel")
 	)
 	flag.Parse()
-	if err := run(*baseline, *tolerance, *count, *benchtime, *update); err != nil {
+	var err error
+	if *dataplane {
+		path := *baseline
+		if path == "" {
+			path = "BENCH_dataplane.json"
+		}
+		err = runDataplane(path, *tolerance, *timeTol, *count, *benchtime, *update)
+	} else {
+		path := *baseline
+		if path == "" {
+			path = "BENCH_kernel.json"
+		}
+		err = run(path, *tolerance, *count, *benchtime, *update)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench-guard:", err)
 		os.Exit(1)
 	}

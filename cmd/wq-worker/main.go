@@ -70,6 +70,7 @@ func run(master, name string, cores int, dir, proxyURL, repo, release,
 		ChirpAddr:     chirpSE,
 		ConditionsTag: condTag,
 	}
+	defer env.Close()
 	reg := wq.Registry{
 		"analysis":   hepsim.Analysis(env),
 		"simulation": hepsim.Simulation(env),

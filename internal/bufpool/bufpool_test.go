@@ -1,0 +1,74 @@
+package bufpool
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get()
+	if len(*b) != ChunkSize {
+		t.Fatalf("chunk size = %d, want %d", len(*b), ChunkSize)
+	}
+	Put(b)
+	// Foreign sizes must be dropped, not poison the pool.
+	odd := make([]byte, 17)
+	Put(&odd)
+	Put(nil)
+	if got := Get(); len(*got) != ChunkSize {
+		t.Fatalf("pool returned %d-byte chunk", len(*got))
+	}
+}
+
+func TestCopy(t *testing.T) {
+	src := strings.Repeat("lobster", 300000) // ~2 MiB, spans chunks
+	var dst bytes.Buffer
+	n, err := Copy(&dst, onlyReader{strings.NewReader(src)})
+	if err != nil || n != int64(len(src)) {
+		t.Fatalf("Copy = %d, %v", n, err)
+	}
+	if dst.String() != src {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestCopyN(t *testing.T) {
+	src := strings.Repeat("x", 3*ChunkSize)
+	var dst bytes.Buffer
+	n, err := CopyN(&dst, onlyReader{strings.NewReader(src)}, int64(len(src)))
+	if err != nil || n != int64(len(src)) {
+		t.Fatalf("CopyN = %d, %v", n, err)
+	}
+	if dst.Len() != len(src) {
+		t.Fatalf("wrote %d bytes", dst.Len())
+	}
+	// Exact-length semantics: a short source surfaces io.EOF.
+	dst.Reset()
+	n, err = CopyN(&dst, strings.NewReader("abc"), 10)
+	if n != 3 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short CopyN = %d, %v; want 3, io.EOF", n, err)
+	}
+	// Zero and negative lengths are no-ops.
+	if n, err := CopyN(&dst, strings.NewReader("abc"), 0); n != 0 || err != nil {
+		t.Fatalf("CopyN(0) = %d, %v", n, err)
+	}
+}
+
+// onlyReader hides WriterTo so the pooled-buffer fallback path runs.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func BenchmarkCopyPooled(b *testing.B) {
+	src := bytes.Repeat([]byte("a"), 8<<20)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Copy(io.Discard, onlyReader{bytes.NewReader(src)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,15 +2,19 @@ package chirp
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"lobster/internal/bufpool"
 	"lobster/internal/faultinject"
 	"lobster/internal/retry"
+	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
 
@@ -38,6 +42,11 @@ type Client struct {
 
 	tracer *trace.Tracer
 	parent trace.Context
+
+	// bytesIn/bytesOut are the lobster_bytes_total{chirp_client,…}
+	// series; nil (the uninstrumented default) is a no-op.
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
 }
 
 // ClientOptions configures DialOpts.
@@ -49,6 +58,9 @@ type ClientOptions struct {
 	// Fault, when non-nil, wraps the connection so reads and writes
 	// consult the fault plane under component "chirp_client".
 	Fault *faultinject.Injector
+	// Telemetry, when non-nil, counts payload bytes this client moves
+	// under lobster_bytes_total{component="chirp_client"}.
+	Telemetry *telemetry.Registry
 }
 
 // Dial connects to a chirp server.
@@ -73,6 +85,8 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 		r:         bufio.NewReaderSize(conn, 64<<10),
 		w:         bufio.NewWriterSize(conn, 64<<10),
 		opTimeout: opts.OpTimeout,
+		bytesIn:   opts.Telemetry.Bytes("chirp_client", telemetry.DirIn),
+		bytesOut:  opts.Telemetry.Bytes("chirp_client", telemetry.DirOut),
 	}, nil
 }
 
@@ -161,73 +175,232 @@ func (c *Client) protoErr(op, format string, args ...any) error {
 	return err
 }
 
-// GetFile fetches the file at path.
-func (c *Client) GetFile(path string) ([]byte, error) {
+// GetFileTo fetches the file at path, streaming it into w through
+// pooled chunk buffers — no payload-sized allocation on either side.
+// When w is an *os.File and the connection is an unwrapped TCP socket,
+// the stdlib's splice offload moves the bytes without copying them
+// through user space at all.
+//
+// A sink (w) failure is permanent: the remaining payload is drained off
+// the wire so the connection stays usable, and the sink's error is
+// returned. Transport failures poison the connection as usual. The
+// number of bytes written to w is returned in both cases.
+func (c *Client) GetFileTo(path string, w io.Writer) (int64, error) {
 	if c.broken {
-		return nil, errBroken
+		return 0, errBroken
 	}
 	sp := c.op("get")
 	defer sp.End()
 	if err := c.send("getfile %s\n", path); err != nil {
-		return nil, err
+		return 0, err
 	}
 	line, err := c.readStatusLine("getfile")
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	size, err := strconv.ParseInt(line, 10, 64)
 	if err != nil || size < 0 || size > MaxPayload {
-		return nil, c.protoErr("getfile", "bad size response %q", line)
+		return 0, c.protoErr("getfile", "bad size response %q", line)
 	}
-	data := make([]byte, size)
-	if _, err := io.ReadFull(c.r, data); err != nil {
-		return nil, c.fail(fmt.Errorf("chirp: short read: %w", err))
+	written, err := c.readPayload(w, size)
+	if err != nil {
+		return written, err
 	}
+	c.bytesIn.Add(size)
 	sp.AttrInt("bytes", size)
-	return data, nil
+	return written, nil
+}
+
+// readPayload consumes exactly size payload bytes from the wire,
+// delivering them to w. Sink errors do not desynchronise the protocol:
+// the remainder is drained and the sink error is returned as permanent
+// (a retry would feed the same broken sink).
+func (c *Client) readPayload(w io.Writer, size int64) (int64, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	sink := &sinkWriter{w: w}
+	var consumed int64
+	// Drain what the bufio reader already holds, then read the rest
+	// straight off the connection so file sinks can use kernel offload.
+	if buffered := int64(c.r.Buffered()); buffered > 0 {
+		n := min64(buffered, size)
+		m, err := bufpool.CopyN(sink, c.r, n)
+		consumed += m
+		if err != nil {
+			return sink.n, c.fail(fmt.Errorf("chirp: short read: %w", err))
+		}
+	}
+	if remaining := size - consumed; remaining > 0 {
+		if f, ok := w.(*os.File); ok && sink.err == nil {
+			return c.spliceTail(f, sink.n, remaining)
+		}
+		m, err := bufpool.CopyN(sink, c.conn, remaining)
+		consumed += m
+		if err != nil {
+			return sink.n, c.fail(fmt.Errorf("chirp: short read: %w", err))
+		}
+	}
+	if sink.err != nil {
+		return sink.n, retry.Permanent(fmt.Errorf("chirp: writing payload to sink: %w", sink.err))
+	}
+	return sink.n, nil
+}
+
+// spliceTail moves the unbuffered remainder of a payload into a file
+// sink via the file's ReadFrom — kernel splice on an unwrapped TCP
+// connection. A short transfer is disambiguated by draining what the
+// wire still owes: if the drain succeeds the wire was healthy, so the
+// file (sink) failed and the error is permanent with the connection
+// intact; otherwise the transport is at fault and poisons the
+// connection. prior is what the sink already received from the bufio
+// buffer.
+func (c *Client) spliceTail(f *os.File, prior, remaining int64) (int64, error) {
+	m, err := f.ReadFrom(&io.LimitedReader{R: c.conn, N: remaining})
+	written := prior + m
+	if m < remaining {
+		dn, derr := bufpool.CopyN(io.Discard, c.conn, remaining-m)
+		if derr != nil || dn != remaining-m {
+			if err == nil {
+				err = derr
+			}
+			return written, c.fail(fmt.Errorf("chirp: short read: %w", err))
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+	}
+	if err != nil {
+		return written, retry.Permanent(fmt.Errorf("chirp: writing payload to sink: %w", err))
+	}
+	return written, nil
+}
+
+// sinkWriter tracks the caller's sink separately from the wire: once
+// the sink fails, further chunks are swallowed (claiming success) so
+// the payload keeps draining and the connection survives.
+type sinkWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (s *sinkWriter) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return len(p), nil
+	}
+	n, err := s.w.Write(p)
+	s.n += int64(n)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	s.err = err
+	return len(p), nil
+}
+
+// GetFile fetches the file at path into memory. It is a wrapper over
+// GetFileTo: the buffer grows as bytes actually arrive (capped initial
+// reservation), so a server claiming a huge size cannot make the
+// client commit the memory up front, and an empty file costs no
+// allocation at all.
+func (c *Client) GetFile(path string) ([]byte, error) {
+	var buf getBuffer
+	if _, err := c.GetFileTo(path, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// getBuffer is a bytes.Buffer that stays nil-backed until the first
+// payload byte arrives (so size-0 gets allocate nothing) and reserves
+// at most one chunk ahead of the data.
+type getBuffer struct{ bytes.Buffer }
+
+func (b *getBuffer) Write(p []byte) (int, error) {
+	if b.Len() == 0 && len(p) > 0 {
+		b.Grow(len(p))
+	}
+	return b.Buffer.Write(p)
+}
+
+// PutFileFrom creates or replaces the file at path with exactly size
+// bytes streamed from r through pooled chunks. File readers hand off to
+// sendfile where the kernel supports it. A reader that delivers fewer
+// than size bytes poisons the connection (the announced payload length
+// cannot be unsent) and surfaces as a permanent error: the caller's
+// source, not the transport, is at fault.
+func (c *Client) PutFileFrom(path string, r io.Reader, size int64) error {
+	return c.streamOut("put", "putfile", path, r, size)
+}
+
+// AppendFrom appends exactly size bytes streamed from r to the file at
+// path, with the same contract as PutFileFrom.
+func (c *Client) AppendFrom(path string, r io.Reader, size int64) error {
+	return c.streamOut("append", "append", path, r, size)
+}
+
+func (c *Client) streamOut(op, cmd, path string, r io.Reader, size int64) error {
+	if c.broken {
+		return errBroken
+	}
+	if size < 0 || size > MaxPayload {
+		return retry.Permanent(fmt.Errorf("chirp: bad payload size %d", size))
+	}
+	sp := c.op(op)
+	sp.AttrInt("bytes", size)
+	defer sp.End()
+	if err := checkPath(path); err != nil {
+		return err
+	}
+	// Command line and payload share one flush: the header rides the
+	// front of the first payload chunk instead of its own packet.
+	if _, err := fmt.Fprintf(c.w, "%s %s %d\n", cmd, path, size); err != nil {
+		return c.fail(fmt.Errorf("chirp: sending request: %w", err))
+	}
+	if size > 0 {
+		var n int64
+		var err error
+		if _, isFile := r.(*os.File); isFile {
+			// io.Copy lets the bufio writer hand the payload tail to the
+			// connection's ReadFrom once its buffer drains: the kernel
+			// sendfiles straight from the page cache, no user-space copy.
+			n, err = io.Copy(c.w, &io.LimitedReader{R: r, N: size})
+			if err == nil && n < size {
+				err = io.ErrUnexpectedEOF
+			}
+		} else {
+			n, err = bufpool.CopyN(c.w, r, size)
+		}
+		if err != nil {
+			werr := c.fail(fmt.Errorf("chirp: sending payload (%d/%d bytes): %w", n, size, err))
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// The source underdelivered: no redial can complete
+				// this payload, so don't let the retry layer try.
+				return retry.Permanent(werr)
+			}
+			return werr
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
+	}
+	if _, err := c.readStatusLine(cmd); err != nil {
+		return err
+	}
+	c.bytesOut.Add(size)
+	return nil
 }
 
 // PutFile creates or replaces the file at path. PutFile is idempotent:
 // a retried put that already landed simply rewrites the same bytes.
+// It is a thin wrapper over PutFileFrom.
 func (c *Client) PutFile(path string, data []byte) error {
-	if c.broken {
-		return errBroken
-	}
-	sp := c.op("put")
-	sp.AttrInt("bytes", int64(len(data)))
-	defer sp.End()
-	if err := c.send("putfile %s %d\n", path, len(data)); err != nil {
-		return err
-	}
-	if _, err := c.w.Write(data); err != nil {
-		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
-	}
-	if err := c.w.Flush(); err != nil {
-		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
-	}
-	_, err := c.readStatusLine("putfile")
-	return err
+	return c.PutFileFrom(path, bytes.NewReader(data), int64(len(data)))
 }
 
-// Append appends data to the file at path.
+// Append appends data to the file at path via AppendFrom.
 func (c *Client) Append(path string, data []byte) error {
-	if c.broken {
-		return errBroken
-	}
-	sp := c.op("append")
-	sp.AttrInt("bytes", int64(len(data)))
-	defer sp.End()
-	if err := c.send("append %s %d\n", path, len(data)); err != nil {
-		return err
-	}
-	if _, err := c.w.Write(data); err != nil {
-		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
-	}
-	if err := c.w.Flush(); err != nil {
-		return c.fail(fmt.Errorf("chirp: sending payload: %w", err))
-	}
-	_, err := c.readStatusLine("append")
-	return err
+	return c.AppendFrom(path, bytes.NewReader(data), int64(len(data)))
 }
 
 // Stat returns info for the entry at path.
@@ -306,13 +479,23 @@ func (c *Client) Unlink(path string) error {
 	return err
 }
 
+// checkPath rejects paths with whitespace or newlines: the line
+// protocol cannot carry them, and silently mangling paths would corrupt
+// data. This is a caller bug, not a transport fault — permanent,
+// connection intact.
+func checkPath(path string) error {
+	if strings.ContainsAny(path, " \t\r\n") {
+		return retry.Permanent(fmt.Errorf("chirp: path %q contains whitespace", path))
+	}
+	return nil
+}
+
 func (c *Client) send(format string, args ...any) error {
-	// Reject paths with whitespace or newlines: the line protocol cannot
-	// carry them, and silently mangling paths would corrupt data. This is
-	// a caller bug, not a transport fault — permanent, connection intact.
 	for _, a := range args {
-		if s, ok := a.(string); ok && strings.ContainsAny(s, " \t\r\n") {
-			return retry.Permanent(fmt.Errorf("chirp: path %q contains whitespace", s))
+		if s, ok := a.(string); ok {
+			if err := checkPath(s); err != nil {
+				return err
+			}
 		}
 	}
 	if _, err := fmt.Fprintf(c.w, format, args...); err != nil {

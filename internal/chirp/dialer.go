@@ -6,6 +6,7 @@ import (
 
 	"lobster/internal/faultinject"
 	"lobster/internal/retry"
+	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type Dialer struct {
 	// so each attempt's operations record spans.
 	Tracer *trace.Tracer
 	Parent trace.Context
+
+	// Telemetry, when non-nil, counts payload bytes under
+	// lobster_bytes_total{component="chirp_client"}.
+	Telemetry *telemetry.Registry
 }
 
 // Do dials, runs fn, closes, retrying transport failures under the
@@ -48,6 +53,7 @@ func (d *Dialer) Do(fn func(*Client) error) error {
 			DialTimeout: d.DialTimeout,
 			OpTimeout:   d.OpTimeout,
 			Fault:       d.Fault,
+			Telemetry:   d.Telemetry,
 		})
 		if err != nil {
 			return err

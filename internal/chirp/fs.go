@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"lobster/internal/bufpool"
 )
 
 // FileInfo describes one entry in a directory listing.
@@ -42,6 +44,29 @@ type FileSystem interface {
 	List(path string) ([]FileInfo, error)
 	// Remove deletes the file at path.
 	Remove(path string) error
+}
+
+// StreamReaderFS is an optional FileSystem extension for backends that
+// can serve a file as a stream. The server uses it to pipe payloads
+// straight from storage to the socket through pooled chunks (or kernel
+// sendfile) instead of materialising the whole file in memory.
+type StreamReaderFS interface {
+	// OpenRead returns a reader over the file at path and its size.
+	// The caller streams after any backend locking has been released,
+	// so implementations must tolerate concurrent writers (chirp
+	// workloads are write-once: outputs land under unique task names).
+	OpenRead(path string) (io.ReadCloser, int64, error)
+}
+
+// StreamWriterFS is an optional FileSystem extension for backends that
+// can absorb a payload as a stream of exactly size bytes. A reader
+// error must leave the target unmodified (spool-then-commit), because
+// the bytes come straight off a network peer that may die mid-payload.
+type StreamWriterFS interface {
+	// WriteFileFrom creates or replaces the file at path from r.
+	WriteFileFrom(path string, r io.Reader, size int64) error
+	// AppendFileFrom appends size bytes from r to the file at path.
+	AppendFileFrom(path string, r io.Reader, size int64) error
 }
 
 // CleanPath validates and normalises a client-supplied path: it must be
@@ -180,6 +205,124 @@ func (l *LocalFS) List(p string) ([]FileInfo, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
+}
+
+// OpenRead implements StreamReaderFS. The open and stat happen under
+// the read lock; the returned handle streams after the lock is gone,
+// which is safe for chirp's write-once workload (task outputs land
+// under unique names and are never rewritten in place).
+func (l *LocalFS) OpenRead(p string) (io.ReadCloser, int64, error) {
+	fp, err := l.resolve(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	f, err := os.Open(fp)
+	if err != nil {
+		return nil, 0, fmt.Errorf("chirp: reading %s: %w", p, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("chirp: stat %s: %w", p, err)
+	}
+	if st.IsDir() {
+		f.Close()
+		return nil, 0, fmt.Errorf("chirp: reading %s: is a directory", p)
+	}
+	return f, st.Size(), nil
+}
+
+// WriteFileFrom implements StreamWriterFS: the payload spools into a
+// temp file in the target directory (no lock held while the bytes
+// arrive off the network), then a rename commits it under the write
+// lock. A reader error discards the spool and leaves the target alone.
+func (l *LocalFS) WriteFileFrom(p string, r io.Reader, size int64) error {
+	fp, tmp, err := l.spool(p, r, size)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := os.Rename(tmp, fp); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("chirp: writing %s: %w", p, err)
+	}
+	return nil
+}
+
+// AppendFileFrom implements StreamWriterFS. Appends cannot be committed
+// by rename, so the spool is copied onto the target under the write
+// lock — a disk-to-disk copy that never waits on the network.
+func (l *LocalFS) AppendFileFrom(p string, r io.Reader, size int64) error {
+	fp, tmp, err := l.spool(p, r, size)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	src, err := os.Open(tmp)
+	if err != nil {
+		return fmt.Errorf("chirp: appending %s: %w", p, err)
+	}
+	defer src.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dst, err := os.OpenFile(fp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("chirp: appending %s: %w", p, err)
+	}
+	if _, err := bufpool.CopyN(dst, src, size); err != nil {
+		dst.Close()
+		return fmt.Errorf("chirp: appending %s: %w", p, err)
+	}
+	if err := dst.Close(); err != nil {
+		return fmt.Errorf("chirp: appending %s: %w", p, err)
+	}
+	return nil
+}
+
+// tailWriter lets a payload source deliver the bytes of a spool copy
+// in one call instead of chunked Reads — the chirp server's wire
+// reader uses it to splice the unbuffered tail of a payload straight
+// from the socket into the spool file, skipping user space. The
+// implementation must deliver exactly n bytes or return an error.
+type tailWriter interface {
+	WriteTailTo(w io.Writer, n int64) (int64, error)
+}
+
+// spool drains exactly size bytes of r into a fresh temp file next to
+// the resolved target path. It returns the resolved target and the
+// temp path; on any error the temp file is already gone.
+func (l *LocalFS) spool(p string, r io.Reader, size int64) (fp, tmp string, err error) {
+	fp, err = l.resolve(p)
+	if err != nil {
+		return "", "", err
+	}
+	dir := filepath.Dir(fp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("chirp: creating parents of %s: %w", p, err)
+	}
+	f, err := os.CreateTemp(dir, ".chirp-spool-*")
+	if err != nil {
+		return "", "", fmt.Errorf("chirp: spooling %s: %w", p, err)
+	}
+	tmp = f.Name()
+	if tw, ok := r.(tailWriter); ok {
+		_, err = tw.WriteTailTo(f, size)
+	} else {
+		_, err = bufpool.CopyN(f, r, size)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", "", fmt.Errorf("chirp: spooling %s: %w", p, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", "", fmt.Errorf("chirp: spooling %s: %w", p, err)
+	}
+	return fp, tmp, nil
 }
 
 // Remove implements FileSystem.

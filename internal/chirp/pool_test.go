@@ -1,0 +1,179 @@
+package chirp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lobster/internal/faultinject"
+	"lobster/internal/retry"
+)
+
+func TestPoolReusesConnections(t *testing.T) {
+	_, addr := startTestServer(t)
+	p := NewPool(PoolOptions{Addr: addr, Size: 2, DialTimeout: time.Second})
+	defer p.Close()
+
+	payload := []byte("pooled payload")
+	for i := 0; i < 10; i++ {
+		if err := p.PutFile("/p.dat", payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.GetFile("/p.dat")
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("GetFile = %q, %v", got, err)
+		}
+	}
+	st := p.Stats()
+	if st.Dials > 2 {
+		t.Errorf("pool dialed %d times for sequential ops, want <= 2", st.Dials)
+	}
+	if st.Reuses < 15 {
+		t.Errorf("pool reused only %d times over 20 ops", st.Reuses)
+	}
+}
+
+func TestPoolIdleTTLDiscardsStaleConnections(t *testing.T) {
+	_, addr := startTestServer(t)
+	p := NewPool(PoolOptions{Addr: addr, Size: 2, IdleTTL: time.Millisecond, DialTimeout: time.Second})
+	defer p.Close()
+
+	if err := p.PutFile("/ttl.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := p.GetFile("/ttl.dat"); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Dials < 2 {
+		t.Errorf("stale idle connection was reused: %+v", st)
+	}
+	if st.Discards < 1 {
+		t.Errorf("stale idle connection was not discarded: %+v", st)
+	}
+}
+
+func TestPoolClosedRejectsWork(t *testing.T) {
+	_, addr := startTestServer(t)
+	p := NewPool(PoolOptions{Addr: addr, DialTimeout: time.Second})
+	if err := p.PutFile("/c.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.GetFile("/c.dat"); err == nil {
+		t.Fatal("Do on a closed pool succeeded")
+	}
+}
+
+// TestPoolSurvivesFaultStorm hammers one server from 16 goroutines
+// through a shared pool while the fault plane randomly drops client
+// connections mid-transfer. Every operation must still complete (the
+// pool discards broken connections and redials under the retry policy),
+// and every payload must round-trip intact. Run under -race this is
+// also the pool's concurrency test.
+func TestPoolSurvivesFaultStorm(t *testing.T) {
+	fs, err := NewLocalFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(fs, "127.0.0.1:0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inj := faultinject.New(&faultinject.Plan{
+		Seed: 42,
+		Rules: []faultinject.Rule{{
+			Component: "chirp_client",
+			Action:    faultinject.ActDrop, Prob: 0.02,
+		}},
+	})
+	p := NewPool(PoolOptions{
+		Addr:        srv.Addr(),
+		Size:        8,
+		DialTimeout: time.Second,
+		Retry: retry.Policy{
+			MaxAttempts: 10,
+			Sleep:       func(time.Duration) {},
+		},
+		Fault: inj,
+	})
+	defer p.Close()
+
+	const goroutines = 16
+	const opsEach = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('a' + g)}, 64<<10)
+			for i := 0; i < opsEach; i++ {
+				path := fmt.Sprintf("/storm/g%d/f%d.dat", g, i)
+				if err := p.Do(func(c *Client) error {
+					return c.PutFileFrom(path, bytes.NewReader(payload), int64(len(payload)))
+				}); err != nil {
+					errs <- fmt.Errorf("put %s: %w", path, err)
+					return
+				}
+				got, err := p.GetFile(path)
+				if err != nil {
+					errs <- fmt.Errorf("get %s: %w", path, err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("payload corrupted on %s", path)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("injector never fired — the storm exercised nothing")
+	}
+	if p.Stats().Discards == 0 {
+		t.Error("no broken connection was ever discarded")
+	}
+}
+
+func TestPoolFetchToAndStoreFrom(t *testing.T) {
+	_, addr := startTestServer(t)
+	p := NewPool(PoolOptions{Addr: addr, DialTimeout: time.Second})
+	defer p.Close()
+
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.dat")
+	payload := bytes.Repeat([]byte("stage"), 1<<18) // 1.25 MiB, spans chunks
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.StoreFrom("/staged.dat", src); err != nil || n != int64(len(payload)) {
+		t.Fatalf("StoreFrom = %d, %v", n, err)
+	}
+	dst := filepath.Join(dir, "dst.dat")
+	if n, err := p.FetchTo("/staged.dat", dst); err != nil || n != int64(len(payload)) {
+		t.Fatalf("FetchTo = %d, %v", n, err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip corrupted the payload (%d bytes, %v)", len(got), err)
+	}
+	if err := p.Unlink("/staged.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FetchTo("/staged.dat", dst); err == nil {
+		t.Fatal("fetch of unlinked file succeeded")
+	}
+}

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lobster/internal/bufpool"
 	"lobster/internal/faultinject"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
@@ -56,6 +58,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	closed  bool
+	open    map[net.Conn]struct{} // accepted conns, force-closed on Close
 	wg      sync.WaitGroup
 	conns   atomic.Int64
 	active  atomic.Int64
@@ -99,6 +102,8 @@ type serverTelemetry struct {
 	errs      *telemetry.Counter
 	bytesIn   *telemetry.Counter
 	bytesOut  *telemetry.Counter
+	planeIn   *telemetry.Counter // lobster_bytes_total{chirp_server,in}
+	planeOut  *telemetry.Counter // lobster_bytes_total{chirp_server,out}
 	queueWait *telemetry.Histogram
 }
 
@@ -131,6 +136,8 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 			"Payload bytes received (putfile/append)."),
 		bytesOut: reg.Counter("lobster_chirp_bytes_out_total",
 			"Payload bytes sent (getfile)."),
+		planeIn:  reg.Bytes("chirp_server", telemetry.DirIn),
+		planeOut: reg.Bytes("chirp_server", telemetry.DirOut),
 		queueWait: reg.Histogram("lobster_chirp_queue_wait_seconds",
 			"Time connections waited for one of the bounded service slots.", nil),
 	})
@@ -181,7 +188,10 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, hangs up every open connection, and waits for
+// their handlers to finish. Force-closing matters now that clients hold
+// pooled connections open between operations: an idle client parked in
+// its pool must not be able to stall server shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -189,10 +199,35 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	for c := range s.open {
+		c.Close()
+	}
 	s.mu.Unlock()
 	err := s.lis.Close()
 	s.wg.Wait()
 	return err
+}
+
+// trackConn registers an accepted conn for force-close on shutdown; it
+// reports false (and closes the conn) if the server is already closing.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	if s.open == nil {
+		s.open = make(map[net.Conn]struct{})
+	}
+	s.open[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.open, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -203,12 +238,16 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		conn = s.fault.Load().Conn("chirp_server", conn)
+		if !s.trackConn(conn) {
+			return // server closing
+		}
 		s.conns.Add(1)
 		s.telemetry().conns.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
+			defer s.untrackConn(conn)
 			// Queue for a service slot: this is the connection cap that
 			// produces batched stage-out behaviour under bursts.
 			start := time.Now()
@@ -256,10 +295,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			sp = tr.Start(cur, "chirp_server", cmd)
 		}
 		cur = trace.Context{}
-		if err := s.dispatch(line, r, w); err != nil {
+		if err := s.dispatch(line, r, w, conn); err != nil {
 			s.errs.Add(1)
 			s.telemetry().errs.Inc()
 			sp.Attr("error", sanitizeError(err))
+			if errors.Is(err, errHangup) {
+				// The stream is desynced (e.g. a transfer died after its
+				// size header): an error reply would be read as payload.
+				sp.End()
+				w.Flush()
+				return
+			}
 			fmt.Fprintf(w, "-1 %s\n", sanitizeError(err))
 		}
 		sp.End()
@@ -281,7 +327,197 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
+// errHangup marks a failure that leaves the protocol stream desynced —
+// a getfile that died after its size header, or a putfile whose payload
+// could not be fully consumed. The only safe recovery is to drop the
+// connection: an error reply would be read as payload bytes.
+var errHangup = errors.New("chirp: stream desynced")
+
+// hangup wraps err so serveConn closes the connection instead of
+// replying.
+func hangup(op string, err error) error {
+	return fmt.Errorf("%s: %w: %w", op, errHangup, err)
+}
+
+// serveGet answers one getfile request. Backends implementing
+// StreamReaderFS are piped straight to the socket through pooled chunks
+// (with kernel sendfile when the endpoints allow it); others fall back
+// to a whole-file read.
+func (s *Server) serveGet(path string, w *bufio.Writer) error {
+	sr, ok := s.fs.(StreamReaderFS)
+	if !ok {
+		data, err := s.fs.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\n", len(data))
+		if _, err := w.Write(data); err != nil {
+			return hangup("getfile", err)
+		}
+		s.countOut(int64(len(data)))
+		return nil
+	}
+	rc, size, err := sr.OpenRead(path)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	fmt.Fprintf(w, "%d\n", size)
+	// The limit guards against a file that grew after the stat: the
+	// announced size is a protocol promise, not a hint. File handles go
+	// through io.Copy so the bufio writer can hand the payload tail to
+	// the connection's ReadFrom — kernel sendfile, no user-space copy.
+	var n int64
+	if _, isFile := rc.(*os.File); isFile {
+		n, err = io.Copy(w, &io.LimitedReader{R: rc, N: size})
+	} else {
+		n, err = bufpool.Copy(w, io.LimitReader(rc, size))
+	}
+	s.countOut(n)
+	if err != nil {
+		return hangup("getfile", err)
+	}
+	if n != size {
+		return hangup("getfile", fmt.Errorf("file shrank to %d of %d bytes mid-send", n, size))
+	}
+	return nil
+}
+
+// servePut absorbs one putfile/append payload. Backends implementing
+// StreamWriterFS receive the bytes as they arrive off the wire
+// (spool-and-commit, so a dead client never corrupts the target);
+// others get the buffered fallback, growing only as bytes actually
+// arrive so a client claiming a huge size cannot commit server memory.
+func (s *Server) servePut(op, path string, size int64, r *bufio.Reader, conn net.Conn) error {
+	sw, ok := s.fs.(StreamWriterFS)
+	if !ok {
+		var buf bytes.Buffer
+		buf.Grow(int(min64(size, 1<<20)))
+		if _, err := io.CopyN(&buf, r, size); err != nil {
+			return hangup(op, fmt.Errorf("short payload: %w", err))
+		}
+		s.countIn(size)
+		var err error
+		if op == "putfile" {
+			err = s.fs.WriteFile(path, buf.Bytes())
+		} else {
+			err = s.fs.Append(path, buf.Bytes())
+		}
+		if err != nil {
+			return err
+		}
+		return nil
+	}
+	pr := &payloadReader{br: r, conn: conn, limit: size}
+	var err error
+	if op == "putfile" {
+		err = sw.WriteFileFrom(path, pr, size)
+	} else {
+		err = sw.AppendFileFrom(path, pr, size)
+	}
+	s.countIn(pr.n)
+	if err != nil {
+		// The backend may have stopped mid-payload (disk full, quota).
+		// Drain what the client already committed to sending so the
+		// stream stays aligned and the error reply is deliverable; if
+		// the payload itself is short the client is gone — hang up.
+		if rem := size - pr.n; rem > 0 {
+			dn, derr := bufpool.CopyN(io.Discard, r, rem)
+			s.countIn(dn)
+			if derr != nil || dn != rem {
+				return hangup(op, fmt.Errorf("short payload: %w", err))
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// payloadReader delivers exactly limit payload bytes off the wire and
+// tracks how many the backend consumed, so servePut knows how much of
+// the announced payload is still pending after a backend error. Read
+// serves everything through the protocol reader; the tailWriter fast
+// path additionally hands the unbuffered remainder of a spool copy
+// straight from the connection, so file destinations can use kernel
+// splice instead of copying through user space.
+type payloadReader struct {
+	br    *bufio.Reader
+	conn  net.Conn // may be nil (tests/fuzzing); the tail then reads via br
+	n     int64    // bytes consumed off the wire
+	limit int64
+}
+
+func (p *payloadReader) remaining() int64 { return p.limit - p.n }
+
+func (p *payloadReader) Read(b []byte) (int, error) {
+	if p.remaining() <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(b)) > p.remaining() {
+		b = b[:p.remaining()]
+	}
+	n, err := p.br.Read(b)
+	p.n += int64(n)
+	return n, err
+}
+
+// WriteTailTo implements the tailWriter fast path: the protocol
+// reader's buffered prefix first (those bytes are already in user
+// space), then the rest straight off the connection.
+func (p *payloadReader) WriteTailTo(w io.Writer, want int64) (int64, error) {
+	var total int64
+	if want > p.remaining() {
+		want = p.remaining()
+	}
+	if buffered := min64(int64(p.br.Buffered()), want); buffered > 0 {
+		m, err := bufpool.CopyN(w, p.br, buffered)
+		p.n += m
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	if rest := want - total; rest > 0 {
+		if p.conn == nil {
+			m, err := bufpool.CopyN(w, p.br, rest)
+			p.n += m
+			return total + m, err
+		}
+		lr := &io.LimitedReader{R: p.conn, N: rest}
+		m, err := io.Copy(w, lr)
+		p.n += m
+		total += m
+		if err == nil && m < rest {
+			err = io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (s *Server) countIn(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.in.Add(n)
+	t := s.telemetry()
+	t.bytesIn.Add(n)
+	t.planeIn.Add(n)
+}
+
+func (s *Server) countOut(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.out.Add(n)
+	t := s.telemetry()
+	t.bytesOut.Add(n)
+	t.planeOut.Add(n)
+}
+
+func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer, conn net.Conn) error {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return errors.New("empty command")
@@ -291,17 +527,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		if len(fields) != 2 {
 			return errors.New("usage: getfile <path>")
 		}
-		data, err := s.fs.ReadFile(fields[1])
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%d\n", len(data))
-		if _, err := w.Write(data); err != nil {
-			return err
-		}
-		s.out.Add(int64(len(data)))
-		s.telemetry().bytesOut.Add(int64(len(data)))
-		return nil
+		return s.serveGet(fields[1], w)
 	case "putfile", "append":
 		if len(fields) != 3 {
 			return fmt.Errorf("usage: %s <path> <size>", fields[0])
@@ -310,22 +536,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) error {
 		if err != nil || size < 0 || size > MaxPayload {
 			return fmt.Errorf("bad size %q", fields[2])
 		}
-		// Buffer grows as bytes actually arrive: a client claiming a huge
-		// size must deliver it before the server commits the memory.
-		var buf bytes.Buffer
-		buf.Grow(int(min64(size, 1<<20)))
-		if _, err := io.CopyN(&buf, r, size); err != nil {
-			return fmt.Errorf("short payload: %w", err)
-		}
-		data := buf.Bytes()
-		s.in.Add(size)
-		s.telemetry().bytesIn.Add(size)
-		if fields[0] == "putfile" {
-			err = s.fs.WriteFile(fields[1], data)
-		} else {
-			err = s.fs.Append(fields[1], data)
-		}
-		if err != nil {
+		if err := s.servePut(fields[0], fields[1], size, r, conn); err != nil {
 			return err
 		}
 		fmt.Fprint(w, "0\n")

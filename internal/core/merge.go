@@ -3,8 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lobster/internal/chirp"
@@ -46,6 +50,11 @@ func MergeExecutor(chirpAddr string) wq.Executor {
 // the previous attempt completed before its result was lost, and the
 // replay reports success instead of failing the workflow. Input
 // cleanup likewise tolerates already-removed files.
+//
+// Data flow: the inputs are fetched in parallel over a bounded chirp
+// connection pool into sandbox spool files (never all in memory at
+// once), then the merged file streams back as one putfile whose payload
+// is the concatenation of the spools.
 func MergeExecutorOpts(chirpAddr string, opts MergeOptions) wq.Executor {
 	return func(ctx *wq.ExecContext) error {
 		args := ctx.Task.Args
@@ -54,45 +63,91 @@ func MergeExecutorOpts(chirpAddr string, opts MergeOptions) wq.Executor {
 		if len(inputs) == 0 || inputs[0] == "" || out == "" {
 			return fmt.Errorf("merge task needs inputs and output")
 		}
-		d := &chirp.Dialer{
+		pool := chirp.NewPool(chirp.PoolOptions{
 			Addr:        chirpAddr,
+			Size:        mergeParallelism,
 			DialTimeout: 30 * time.Second,
 			Retry:       opts.Retry,
 			Fault:       opts.Fault,
 			Tracer:      ctx.Tracer,
 			Parent:      ctx.Trace,
+		})
+		defer pool.Close()
+
+		spools := make([]string, len(inputs))
+		errs := make([]error, len(inputs))
+		var wg sync.WaitGroup
+		for i := range inputs {
+			spools[i] = filepath.Join(ctx.Sandbox, fmt.Sprintf("merge-in-%d", i))
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// The pool's Size caps how many fetches run at once.
+				_, errs[i] = pool.FetchTo(inputs[i], spools[i])
+			}(i)
 		}
-		var merged []byte
-		for _, in := range inputs {
-			data, err := d.GetFile(in)
-			if err != nil {
-				if errors.Is(err, chirp.ErrNotExist) {
-					// A previous attempt of this task may have already
-					// merged and removed the inputs.
-					if derr := d.Do(func(c *chirp.Client) error {
-						_, serr := c.Stat(out)
-						return serr
-					}); derr == nil {
-						return nil
-					}
-				}
-				return fmt.Errorf("fetching merge input %s: %w", in, err)
+		wg.Wait()
+		for i, err := range errs {
+			if err == nil {
+				continue
 			}
-			merged = append(merged, data...)
+			if errors.Is(err, chirp.ErrNotExist) {
+				// A previous attempt of this task may have already
+				// merged and removed the inputs.
+				if derr := pool.Do(func(c *chirp.Client) error {
+					_, serr := c.Stat(out)
+					return serr
+				}); derr == nil {
+					return nil
+				}
+			}
+			return fmt.Errorf("fetching merge input %s: %w", inputs[i], err)
 		}
-		if err := d.PutFile(out, merged); err != nil {
+
+		// One streamed putfile of the concatenated spools; each retry
+		// reopens them, so the closure stays idempotent.
+		if err := pool.Do(func(c *chirp.Client) error {
+			var total int64
+			readers := make([]io.Reader, 0, len(spools))
+			closers := make([]io.Closer, 0, len(spools))
+			defer func() {
+				for _, cl := range closers {
+					cl.Close()
+				}
+			}()
+			for _, sp := range spools {
+				f, err := os.Open(sp)
+				if err != nil {
+					return retry.Permanent(fmt.Errorf("opening spool: %w", err))
+				}
+				closers = append(closers, f)
+				st, err := f.Stat()
+				if err != nil {
+					return retry.Permanent(fmt.Errorf("stat spool: %w", err))
+				}
+				total += st.Size()
+				readers = append(readers, f)
+			}
+			return c.PutFileFrom(out, io.MultiReader(readers...), total)
+		}); err != nil {
 			return fmt.Errorf("writing merged output: %w", err)
 		}
 		// Clean up the small inputs; the merged file replaces them. A
 		// missing input was removed by an earlier attempt — not an error.
 		for _, in := range inputs {
-			if err := d.Unlink(in); err != nil && !errors.Is(err, chirp.ErrNotExist) {
+			if err := pool.Unlink(in); err != nil && !errors.Is(err, chirp.ErrNotExist) {
 				return fmt.Errorf("removing merged input %s: %w", in, err)
 			}
 		}
 		return nil
 	}
 }
+
+// mergeParallelism bounds a merge task's concurrent chirp connections:
+// enough to hide round-trip latency on many small inputs, small enough
+// that a wave of merge tasks doesn't monopolise the storage element's
+// slot cap.
+const mergeParallelism = 4
 
 // groupOutputsBySize forms merge groups whose summed size approaches
 // targetBytes (paper: "group the finished tasks by output size to form merge

@@ -1,6 +1,7 @@
 package cvmfs
 
 import (
+	"bytes"
 	"fmt"
 
 	"lobster/internal/stats"
@@ -41,16 +42,30 @@ func PublishRelease(repo *Repository, cfg ReleaseConfig, rng *stats.Rand) ([]str
 			g := stats.Gaussian{Mu: float64(meanSize), Sigma: cfg.SizeJitter * float64(meanSize), Floor: 1}
 			size = int64(g.Sample(rng))
 		}
-		content := make([]byte, size)
 		// Fill with a cheap deterministic pattern keyed off the RNG; only the
-		// first words need to differ for unique hashes.
-		for i := 0; i < len(content); i += 64 {
-			v := rng.Uint64()
-			for j := 0; j < 8 && i+j < len(content); j++ {
-				content[i+j] = byte(v >> (8 * j))
+		// first words of each 64-byte stride need to differ for unique hashes.
+		// The buffer's pre-allocation is capped: size comes from a sampled
+		// distribution, so it must not become an arbitrary upfront make().
+		var content bytes.Buffer
+		if grow := size; grow > 0 {
+			if grow > 64<<10 {
+				grow = 64 << 10
 			}
+			content.Grow(int(grow))
 		}
-		if err := tx.AddFile(path, content); err != nil {
+		var block [64]byte // bytes 8..63 stay zero, as make() left them before
+		for rem := size; rem > 0; rem -= int64(len(block)) {
+			v := rng.Uint64()
+			for j := 0; j < 8; j++ {
+				block[j] = byte(v >> (8 * j))
+			}
+			n := int64(len(block))
+			if rem < n {
+				n = rem
+			}
+			content.Write(block[:n])
+		}
+		if err := tx.AddFile(path, content.Bytes()); err != nil {
 			return err
 		}
 		paths = append(paths, path)

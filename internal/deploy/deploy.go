@@ -253,6 +253,7 @@ func Start(opts Options) (*Stack, error) {
 		ConditionsTag: "align",
 		Fault:         opts.Fault,
 		ChirpRetry:    opts.Retry,
+		Telemetry:     opts.Telemetry,
 		Open: func(lfn string) (hepsim.RemoteFile, error) {
 			return xcl.Open(lfn)
 		},
@@ -265,6 +266,7 @@ func Start(opts Options) (*Stack, error) {
 			return tcl.Open(lfn)
 		},
 	}
+	st.closers = append(st.closers, func() { st.Env.Close() })
 	st.Registry = wq.Registry{
 		"analysis":   hepsim.Analysis(st.Env),
 		"simulation": hepsim.Simulation(st.Env),

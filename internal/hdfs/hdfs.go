@@ -10,6 +10,7 @@
 package hdfs
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -202,15 +203,24 @@ func (c *Cluster) ReadFile(path string) ([]byte, error) {
 	size := meta.size
 	c.mu.RUnlock()
 
-	out := make([]byte, 0, size)
+	// Cap the pre-allocation: size is recorded metadata, and a corrupt or
+	// hostile entry must not translate into an arbitrary upfront make().
+	// The buffer grows amortised past the cap as real blocks arrive.
+	var out bytes.Buffer
+	if grow := size; grow > 0 {
+		if grow > 1<<20 {
+			grow = 1 << 20
+		}
+		out.Grow(int(grow))
+	}
 	for _, id := range blocks {
 		data, err := c.readBlock(id)
 		if err != nil {
 			return nil, fmt.Errorf("hdfs: %s: %w", path, err)
 		}
-		out = append(out, data...)
+		out.Write(data)
 	}
-	return out, nil
+	return out.Bytes(), nil
 }
 
 // readBlock tries each replica in turn.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"lobster/internal/chirp"
@@ -14,6 +15,7 @@ import (
 	"lobster/internal/parrot"
 	"lobster/internal/retry"
 	"lobster/internal/stats"
+	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 	"lobster/internal/wq"
 	"lobster/internal/wrapper"
@@ -58,18 +60,60 @@ type Env struct {
 	// operations (stage-out put, pile-up get). The zero Policy keeps the
 	// old single-attempt behaviour.
 	ChirpRetry retry.Policy
+	// Telemetry, when non-nil, counts the executors' chirp payload bytes
+	// under lobster_bytes_total{component="chirp_client"} and
+	// instruments the shared connection pool.
+	Telemetry *telemetry.Registry
+
+	// poolOnce/pool lazily build the chirp connection pool all task
+	// slots of this worker process share: stage-out waves reuse warm
+	// connections instead of dialing per segment.
+	poolOnce sync.Once
+	pool     *chirp.Pool
 }
 
-// chirpDialer builds the hardened chirp access path for one segment.
-func (e *Env) chirpDialer(c *wrapper.StepContext) *chirp.Dialer {
-	return &chirp.Dialer{
-		Addr:        e.ChirpAddr,
-		DialTimeout: 30 * time.Second,
-		Retry:       e.ChirpRetry,
-		Fault:       e.Fault,
-		Tracer:      c.Tracer,
-		Parent:      c.Trace,
+// chirpPool returns the Env's shared connection pool, building it on
+// first use (ChirpAddr must be set by then).
+func (e *Env) chirpPool() *chirp.Pool {
+	e.poolOnce.Do(func() {
+		e.pool = chirp.NewPool(chirp.PoolOptions{
+			Addr:        e.ChirpAddr,
+			Size:        8,
+			DialTimeout: 30 * time.Second,
+			Retry:       e.ChirpRetry,
+			Fault:       e.Fault,
+			Telemetry:   e.Telemetry,
+		})
+	})
+	return e.pool
+}
+
+// cloneConfig returns a fresh Env with the same configuration and none
+// of the lazily-built pool state. Env holds a sync.Once, so it must not
+// be copied by value; derive per-task variants through this instead.
+func (e *Env) cloneConfig() *Env {
+	return &Env{
+		ProxyURL:      e.ProxyURL,
+		Repo:          e.Repo,
+		ReleasePath:   e.ReleasePath,
+		Cache:         e.Cache,
+		Open:          e.Open,
+		OpenTraced:    e.OpenTraced,
+		ChirpAddr:     e.ChirpAddr,
+		ConditionsTag: e.ConditionsTag,
+		HTTPClient:    e.HTTPClient,
+		Fault:         e.Fault,
+		ChirpRetry:    e.ChirpRetry,
+		Telemetry:     e.Telemetry,
 	}
+}
+
+// Close releases the Env's pooled chirp connections.
+func (e *Env) Close() error {
+	if e.pool != nil {
+		return e.pool.Close()
+	}
+	return nil
 }
 
 // OpenFunc opens an LFN for reading; the returned handle reports its size
@@ -233,8 +277,11 @@ func runAnalysis(env *Env, ctx *wq.ExecContext) (*wrapper.Report, string) {
 				// Keep the output in the sandbox only.
 				return os.WriteFile(filepath.Join(ctx.Sandbox, "output.root"), output, 0o644)
 			}
-			// PutFile is idempotent, so the dialer may replay it freely.
-			if err := env.chirpDialer(c).PutFile(out, output); err != nil {
+			// PutFile is idempotent, so the pool may replay it freely; the
+			// payload streams through the pooled connection's shared flush.
+			if err := env.chirpPool().DoTraced(c.Tracer, c.Trace, func(cc *chirp.Client) error {
+				return cc.PutFile(out, output)
+			}); err != nil {
 				return err
 			}
 			c.SetMetric("bytes_out", float64(len(output)))
@@ -350,9 +397,11 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 			if pu == "" || env.ChirpAddr == "" {
 				return nil // pile-up overlay disabled
 			}
-			var err error
-			pileup, err = env.chirpDialer(c).GetFile(pu)
-			if err != nil {
+			if err := env.chirpPool().DoTraced(c.Tracer, c.Trace, func(cc *chirp.Client) error {
+				var gerr error
+				pileup, gerr = cc.GetFile(pu)
+				return gerr
+			}); err != nil {
 				return err
 			}
 			c.SetMetric("bytes_in", float64(len(pileup)))
@@ -380,7 +429,9 @@ func runSimulation(env *Env, ctx *wq.ExecContext) *wrapper.Report {
 			if out == "" || env.ChirpAddr == "" {
 				return os.WriteFile(filepath.Join(ctx.Sandbox, "output.root"), output, 0o644)
 			}
-			if err := env.chirpDialer(c).PutFile(out, output); err != nil {
+			if err := env.chirpPool().DoTraced(c.Tracer, c.Trace, func(cc *chirp.Client) error {
+				return cc.PutFile(out, output)
+			}); err != nil {
 				return err
 			}
 			c.SetMetric("bytes_out", float64(len(output)))

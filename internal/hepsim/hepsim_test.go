@@ -172,6 +172,9 @@ func startServices(t *testing.T) *testServices {
 			return f, nil
 		},
 	}
+	// Registered last so it runs first: the env's pooled chirp
+	// connections drop before the storage element shuts down.
+	t.Cleanup(func() { env.Close() })
 	return &testServices{env: env, chirpFS: fs, dataSrv: ds, redir: red, dash: dash, proxy: proxy, cvmfsRepo: repo}
 }
 
@@ -311,10 +314,10 @@ func TestAnalysisFailureSegmentAttribution(t *testing.T) {
 func TestAnalysisSquidOutageIsSoftwareFailure(t *testing.T) {
 	svc := startServices(t)
 	// Point the env at a dead proxy: software setup must fail with its code.
-	env := *svc.env
+	env := svc.env.cloneConfig()
 	env.ProxyURL = "http://127.0.0.1:1" // nothing listens
 	env.HTTPClient = newFastTimeoutClient()
-	exec := Analysis(&env)
+	exec := Analysis(env)
 	rep := runTask(t, exec, &wq.Task{ID: 5, Args: map[string]string{"lfn": "/x"}})
 	if rep.Failed != wrapper.SegSoftware {
 		t.Fatalf("failed segment = %s", rep.Failed)

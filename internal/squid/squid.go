@@ -16,10 +16,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"lobster/internal/bufpool"
 	"lobster/internal/faultinject"
 	"lobster/internal/retry"
 	"lobster/internal/telemetry"
@@ -82,7 +84,7 @@ type Proxy struct {
 	used     int64
 	lru      *list.List               // of *entry, front = most recent
 	items    map[string]*list.Element // key → element
-	inflight map[string]*fetch
+	inflight map[string]*stream
 	stats    Stats
 
 	tel    proxyTelemetry
@@ -110,6 +112,8 @@ type proxyTelemetry struct {
 	evictions    *telemetry.Counter
 	bytesServed  *telemetry.Counter
 	bytesFetched *telemetry.Counter
+	planeIn      *telemetry.Counter // lobster_bytes_total{squid,in}
+	planeOut     *telemetry.Counter // lobster_bytes_total{squid,out}
 }
 
 // Instrument registers the proxy's metric series on reg. A nil registry
@@ -133,6 +137,8 @@ func (p *Proxy) Instrument(reg *telemetry.Registry) {
 			"Response bytes served to clients."),
 		bytesFetched: reg.Counter("lobster_squid_bytes_fetched_total",
 			"Bytes fetched from the origin (misses only)."),
+		planeIn:  reg.Bytes("squid", telemetry.DirIn),
+		planeOut: reg.Bytes("squid", telemetry.DirOut),
 	}
 	reg.GaugeFunc("lobster_squid_hit_ratio",
 		"Cache hit ratio: hits / (hits + misses).",
@@ -162,10 +168,59 @@ type entry struct {
 	hdr  http.Header
 }
 
-type fetch struct {
-	done chan struct{}
-	ent  *entry
-	err  error
+// stream is one in-flight origin fetch shared by every request that
+// coalesced onto it. The pump goroutine appends body bytes as they
+// arrive from the origin and broadcasts; consumers copy whatever is new
+// to their own client and wait for more. That way a cold-start wave is
+// served at origin line rate instead of stalling every waiter until the
+// last byte lands.
+type stream struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	hdr      http.Header
+	size     int64 // origin Content-Length, -1 unknown
+	hdrReady bool
+	buf      []byte
+	done     bool
+	err      error
+}
+
+func newStream() *stream {
+	st := &stream{size: -1}
+	st.cond.L = &st.mu
+	return st
+}
+
+// publishHeaders releases consumers to start writing their responses.
+func (st *stream) publishHeaders(hdr http.Header, size int64) {
+	st.mu.Lock()
+	st.hdr = hdr
+	st.size = size
+	st.hdrReady = true
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// append publishes body bytes to the consumers. p is copied: callers
+// reuse their read buffer.
+func (st *stream) append(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.buf = append(st.buf, p...)
+	st.mu.Unlock()
+	st.cond.Broadcast()
+}
+
+// finish marks the stream complete (err nil) or failed.
+func (st *stream) finish(err error) {
+	st.mu.Lock()
+	st.done = true
+	st.err = err
+	st.mu.Unlock()
+	st.cond.Broadcast()
 }
 
 // New returns a proxy forwarding cache misses to the origin base URL.
@@ -201,7 +256,7 @@ func New(origin string, cfg Config) (*Proxy, error) {
 		capacity: cfg.CapacityBytes,
 		lru:      list.New(),
 		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*fetch),
+		inflight: make(map[string]*stream),
 	}, nil
 }
 
@@ -231,53 +286,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sp = p.tracer.Start(ctx, "squid", "proxy_get")
 		sp.Attr("key", key)
 	}
-	ent, outcome, err := p.get(key, ctx, sp.Context())
-	if err != nil {
-		p.mu.Lock()
-		p.stats.OriginErrors++
-		p.mu.Unlock()
-		p.tel.originErrors.Inc()
-		sp.Attr("error", err.Error())
-		sp.End()
-		http.Error(w, "squid: origin fetch failed: "+err.Error(), http.StatusBadGateway)
-		return
-	}
-	h := w.Header()
-	for k, vs := range ent.hdr {
-		for _, v := range vs {
-			h.Add(k, v)
-		}
-	}
-	if outcome == outcomeHit {
-		h.Set("X-Cache", "HIT")
-	} else {
-		h.Set("X-Cache", "MISS")
-	}
-	sp.Attr("outcome", outcome)
-	sp.AttrInt("bytes", int64(len(ent.body)))
-	sp.End()
-	p.mu.Lock()
-	p.stats.BytesServed += int64(len(ent.body))
-	p.mu.Unlock()
-	p.tel.bytesServed.Add(int64(len(ent.body)))
-	w.Write(ent.body)
-}
 
-// Cache outcomes reported by get; they become span attributes so the
-// trace analyzer can tell a hot cache from a cold-start wave.
-const (
-	outcomeHit       = "hit"
-	outcomeMiss      = "miss"
-	outcomeCoalesced = "coalesced"
-)
-
-// get returns the entry for key, fetching from origin on a miss.
-// wireCtx is the trace context from the client's request header and
-// spanCtx the proxy's own span context (invalid when untraced); the
-// origin fetch chains under spanCtx when possible, falling back to
-// forwarding wireCtx unchanged so a proxy without a tracer still
-// relays the chain.
-func (p *Proxy) get(key string, wireCtx, spanCtx trace.Context) (*entry, string, error) {
 	p.mu.Lock()
 	if el, ok := p.items[key]; ok {
 		p.lru.MoveToFront(el)
@@ -285,37 +294,141 @@ func (p *Proxy) get(key string, wireCtx, spanCtx trace.Context) (*entry, string,
 		ent := el.Value.(*entry)
 		p.mu.Unlock()
 		p.tel.hits.Inc()
-		return ent, outcomeHit, nil
+		h := w.Header()
+		for k, vs := range ent.hdr {
+			for _, v := range vs {
+				h.Add(k, v)
+			}
+		}
+		h.Set("X-Cache", "HIT")
+		sp.Attr("outcome", outcomeHit)
+		sp.AttrInt("bytes", int64(len(ent.body)))
+		sp.End()
+		p.countServed(int64(len(ent.body)))
+		w.Write(ent.body)
+		return
 	}
-	// Coalesce with an in-flight fetch if one exists.
-	if f, ok := p.inflight[key]; ok {
+	// Coalesce with an in-flight fetch when one exists; otherwise become
+	// the leader: register the stream and start the origin pump. Either
+	// way this request consumes the shared stream progressively.
+	st, ok := p.inflight[key]
+	outcome := outcomeCoalesced
+	if ok {
 		p.stats.Coalesced++
 		p.mu.Unlock()
 		p.tel.coalesced.Inc()
-		<-f.done
-		if f.err != nil {
-			return nil, outcomeCoalesced, f.err
-		}
-		return f.ent, outcomeCoalesced, nil
+	} else {
+		outcome = outcomeMiss
+		st = newStream()
+		p.inflight[key] = st
+		p.stats.Misses++
+		p.mu.Unlock()
+		p.tel.misses.Inc()
+		go p.pump(key, st, ctx, sp.Context())
 	}
-	f := &fetch{done: make(chan struct{})}
-	p.inflight[key] = f
-	p.stats.Misses++
-	p.mu.Unlock()
-	p.tel.misses.Inc()
+	sp.Attr("outcome", outcome)
+	n, err := p.serveStream(w, st)
+	sp.AttrInt("bytes", n)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+}
 
-	f.ent, f.err = p.fetchOrigin(key, wireCtx, spanCtx)
+// countServed updates the served-bytes accounting.
+func (p *Proxy) countServed(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.stats.BytesServed += n
+	p.mu.Unlock()
+	p.tel.bytesServed.Add(n)
+	p.tel.planeOut.Add(n)
+}
+
+// serveStream copies st to one client as the pump fills it, returning
+// the bytes written. An origin error before the headers were published
+// becomes a 502; after that the response is already under way and can
+// only be truncated.
+func (p *Proxy) serveStream(w http.ResponseWriter, st *stream) (int64, error) {
+	st.mu.Lock()
+	for !st.hdrReady && !st.done {
+		st.cond.Wait()
+	}
+	if !st.hdrReady {
+		err := st.err
+		st.mu.Unlock()
+		p.mu.Lock()
+		p.stats.OriginErrors++
+		p.mu.Unlock()
+		p.tel.originErrors.Inc()
+		http.Error(w, "squid: origin fetch failed: "+err.Error(), http.StatusBadGateway)
+		return 0, err
+	}
+	hdr, size := st.hdr, st.size
+	st.mu.Unlock()
+
+	h := w.Header()
+	for k, vs := range hdr {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	h.Set("X-Cache", "MISS")
+	if size >= 0 {
+		h.Set("Content-Length", strconv.FormatInt(size, 10))
+	}
+	flusher, _ := w.(http.Flusher)
+	var off int
+	for {
+		st.mu.Lock()
+		for len(st.buf) == off && !st.done {
+			st.cond.Wait()
+		}
+		// buf is append-only, so the captured slice stays valid unlocked.
+		chunk := st.buf[off:]
+		done, err := st.done, st.err
+		st.mu.Unlock()
+		if len(chunk) > 0 {
+			n, werr := w.Write(chunk)
+			off += n
+			p.countServed(int64(n))
+			if werr != nil {
+				return int64(off), werr
+			}
+			if !done && flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if done {
+			return int64(off), err
+		}
+	}
+}
+
+// Cache outcomes reported as span attributes so the trace analyzer can
+// tell a hot cache from a cold-start wave.
+const (
+	outcomeHit       = "hit"
+	outcomeMiss      = "miss"
+	outcomeCoalesced = "coalesced"
+)
+
+// pump runs the origin fetch for one miss, broadcasting bytes to the
+// stream's consumers, and commits the result to the cache. Runs in its
+// own goroutine so the leader request streams like every waiter.
+func (p *Proxy) pump(key string, st *stream, wireCtx, spanCtx trace.Context) {
+	err := p.fetchOrigin(key, st, wireCtx, spanCtx)
 	p.mu.Lock()
 	delete(p.inflight, key)
-	if f.err == nil && cacheable(f.ent.hdr) {
-		p.insertLocked(f.ent)
+	if err == nil && cacheable(st.hdr) {
+		// The stream's buffer becomes the cache body without a copy: the
+		// pump is done appending, so it is immutable from here on.
+		p.insertLocked(&entry{key: key, body: st.buf, hdr: st.hdr})
 	}
 	p.mu.Unlock()
-	close(f.done)
-	if f.err != nil {
-		return nil, outcomeMiss, f.err
-	}
-	return f.ent, outcomeMiss, nil
+	st.finish(err)
 }
 
 // cacheable reports whether the response headers permit caching.
@@ -350,9 +463,15 @@ func (p *Proxy) insertLocked(ent *entry) {
 	p.used += size
 }
 
-// fetchOrigin performs the bounded origin request, propagating the
-// trace context so a chained upstream proxy extends the same trace.
-func (p *Proxy) fetchOrigin(key string, wireCtx, spanCtx trace.Context) (*entry, error) {
+// fetchOrigin performs the bounded origin request for one miss,
+// broadcasting the body to st as it arrives and propagating the trace
+// context so a chained upstream proxy extends the same trace.
+//
+// Retries are valid only until the first committed 200: once the
+// response headers have been published, body bytes may already be on
+// the way to clients and a second attempt could not rewind them, so a
+// mid-body failure is permanent.
+func (p *Proxy) fetchOrigin(key string, st *stream, wireCtx, spanCtx trace.Context) error {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	u := *p.origin
@@ -368,8 +487,7 @@ func (p *Proxy) fetchOrigin(key string, wireCtx, spanCtx trace.Context) (*entry,
 		sp.Attr("origin", p.origin.Host)
 	}
 	defer sp.End()
-	var body []byte
-	hdr := make(http.Header)
+	var fetched int64
 	err := p.retry.Do(func() error {
 		req, err := http.NewRequest(http.MethodGet, u.String(), nil)
 		if err != nil {
@@ -393,24 +511,37 @@ func (p *Proxy) fetchOrigin(key string, wireCtx, spanCtx trace.Context) (*entry,
 			}
 			return err
 		}
-		body, err = io.ReadAll(resp.Body)
-		if err != nil {
-			return err
-		}
+		hdr := make(http.Header)
 		for _, k := range []string{"Content-Type", "Cache-Control"} {
 			if v := resp.Header.Get(k); v != "" {
 				hdr.Set(k, v)
 			}
 		}
-		return nil
+		st.publishHeaders(hdr, resp.ContentLength)
+		buf := bufpool.Get()
+		defer bufpool.Put(buf)
+		for {
+			n, rerr := resp.Body.Read(*buf)
+			if n > 0 {
+				st.append((*buf)[:n])
+				fetched += int64(n)
+				p.tel.bytesFetched.Add(int64(n))
+				p.tel.planeIn.Add(int64(n))
+			}
+			if rerr == io.EOF {
+				return nil
+			}
+			if rerr != nil {
+				return retry.Permanent(fmt.Errorf("origin body truncated at %d bytes: %w", fetched, rerr))
+			}
+		}
 	})
-	if err != nil {
-		return nil, err
-	}
 	p.mu.Lock()
-	p.stats.BytesFetched += int64(len(body))
+	p.stats.BytesFetched += fetched
 	p.mu.Unlock()
-	p.tel.bytesFetched.Add(int64(len(body)))
-	sp.AttrInt("bytes", int64(len(body)))
-	return &entry{key: key, body: body, hdr: hdr}, nil
+	sp.AttrInt("bytes", fetched)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	return err
 }

@@ -1,0 +1,26 @@
+package telemetry
+
+// BytesTotalName is the shared data-plane byte counter family. Every
+// component that moves payload bytes (chirp client/server, xrootd,
+// squid, wq staging) registers its series here, so one query shows
+// where the bytes flow: lobster_bytes_total{component,direction}.
+const BytesTotalName = "lobster_bytes_total"
+
+// Directions for the lobster_bytes_total counters, from the component's
+// point of view: "in" is payload received, "out" is payload sent.
+const (
+	DirIn  = "in"
+	DirOut = "out"
+)
+
+// Bytes returns the lobster_bytes_total series for one component and
+// direction. The nil registry returns the nil (no-op) counter, so call
+// sites can hold the result unconditionally on hot paths.
+func (r *Registry) Bytes(component, direction string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.CounterVec(BytesTotalName,
+		"Payload bytes moved by the data plane, by component and direction.",
+		"component", "direction").With(component, direction)
+}

@@ -68,6 +68,8 @@ type workerTelemetry struct {
 	stageIn   *telemetry.Histogram
 	execTime  *telemetry.Histogram
 	slotsBusy *telemetry.Gauge
+	planeIn   *telemetry.Counter // lobster_bytes_total{wq_worker,in}
+	planeOut  *telemetry.Counter // lobster_bytes_total{wq_worker,out}
 }
 
 // noWorkerTel is the disabled instrument set: every field nil, every
@@ -103,6 +105,8 @@ func (w *Worker) Instrument(reg *telemetry.Registry) {
 			"Executor run time per task.", nil),
 		slotsBusy: reg.Gauge("lobster_wq_worker_slots_busy",
 			"Core slots currently executing tasks across workers in this process."),
+		planeIn:  reg.Bytes("wq_worker", telemetry.DirIn),
+		planeOut: reg.Bytes("wq_worker", telemetry.DirOut),
 	})
 }
 
@@ -283,12 +287,15 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 		return fail(170, "stage-in: creating sandbox: %v", err)
 	}
 	defer os.RemoveAll(sandbox)
-	for _, f := range t.Inputs {
+	// Files land in parallel under a bounded group: a multi-input task
+	// overlaps its sandbox writes instead of paying them end to end.
+	// Each file is staged under the retry policy with the fault hook
+	// inside the attempt, so injected staging faults exercise the same
+	// recovery path as a flaky local disk.
+	if err := stageGroup(len(t.Inputs), stageParallelism, func(i int) error {
+		f := t.Inputs[i]
 		dst := filepath.Join(sandbox, filepath.FromSlash(f.Name))
-		// Each file lands under the staging retry policy with the fault
-		// hook inside the attempt, so injected staging faults exercise
-		// the same recovery path as a flaky local disk.
-		err := w.stageRetry.Do(func() error {
+		return w.stageRetry.Do(func() error {
 			if err := w.fault.Check("wq_worker", "stage_in"); err != nil {
 				return err
 			}
@@ -297,11 +304,13 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 			}
 			return os.WriteFile(dst, f.Data, 0o644)
 		})
-		if err != nil {
-			return fail(170, "stage-in: %v", err)
-		}
+	}); err != nil {
+		return fail(170, "stage-in: %v", err)
+	}
+	for _, f := range t.Inputs {
 		res.Stats.BytesIn += int64(len(f.Data))
 	}
+	w.telemetry().planeIn.Add(res.Stats.BytesIn)
 	res.Stats.StageIn = time.Since(stageStart)
 	siSpan.AttrInt("bytes", res.Stats.BytesIn)
 	siSpan.End()
@@ -349,32 +358,70 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 		return fail(1, "%v", err)
 	}
 
-	// Stage out.
+	// Stage out: outputs are read in parallel under the same bounded
+	// group, then appended in declaration order so results stay
+	// deterministic.
 	outStart := time.Now()
 	soSpan = tracer.Start(run.Context(), "worker", "stage_out")
-	for _, name := range t.Outputs {
-		var data []byte
-		err := w.stageRetry.Do(func() error {
+	collected := make([][]byte, len(t.Outputs))
+	if err := stageGroup(len(t.Outputs), stageParallelism, func(i int) error {
+		name := t.Outputs[i]
+		return w.stageRetry.Do(func() error {
 			if err := w.fault.Check("wq_worker", "stage_out"); err != nil {
 				return err
 			}
-			var rerr error
-			data, rerr = os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
+			data, rerr := os.ReadFile(filepath.Join(sandbox, filepath.FromSlash(name)))
 			if rerr != nil {
 				// A declared output that never appeared will not appear on
 				// a retry either — the executor has already finished.
 				return retry.Permanent(rerr)
 			}
+			collected[i] = data
 			return nil
 		})
-		if err != nil {
-			return fail(171, "stage-out: declared output %s missing: %v", name, err)
-		}
-		res.Outputs = append(res.Outputs, FileSpec{Name: name, Data: data})
-		res.Stats.BytesOut += int64(len(data))
+	}); err != nil {
+		return fail(171, "stage-out: declared output missing: %v", err)
 	}
+	for i, name := range t.Outputs {
+		res.Outputs = append(res.Outputs, FileSpec{Name: name, Data: collected[i]})
+		res.Stats.BytesOut += int64(len(collected[i]))
+	}
+	w.telemetry().planeOut.Add(res.Stats.BytesOut)
 	res.Stats.StageOut = time.Since(outStart)
 	soSpan.AttrInt("bytes", res.Stats.BytesOut)
 	soSpan.End()
 	return res
+}
+
+// stageParallelism bounds concurrent file operations within one task's
+// stage-in or stage-out. Small on purpose: staging overlaps I/O waits,
+// it must not become a per-task thundering herd on the local disk.
+const stageParallelism = 4
+
+// stageGroup runs fn(0..n-1) with at most limit goroutines in flight
+// and returns the first error. All launched calls run to completion
+// either way, so fn's writes are never abandoned mid-file.
+func stageGroup(n, limit int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			errs <- fn(i)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

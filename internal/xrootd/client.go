@@ -2,6 +2,7 @@ package xrootd
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -9,8 +10,10 @@ import (
 	"strings"
 	"time"
 
+	"lobster/internal/bufpool"
 	"lobster/internal/faultinject"
 	"lobster/internal/retry"
+	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
 
@@ -40,6 +43,9 @@ type Client struct {
 	// Fault, when non-nil, wires replica connections into the fault
 	// plane under component "xrootd_client".
 	Fault *faultinject.Injector
+	// Telemetry, when non-nil, counts fetched payload bytes under
+	// lobster_bytes_total{component="xrootd_client"}.
+	Telemetry *telemetry.Registry
 
 	tracer *trace.Tracer
 	parent trace.Context
@@ -269,57 +275,88 @@ func (f *File) Close() error {
 }
 
 // Fetch streams the whole file into memory, the staging-style access.
-// Configured retries restart the fetch from scratch on transport
-// failures (the fetch grain keeps the retry idempotent — partial reads
-// are discarded).
+// It is a wrapper over FetchTo; the buffer grows as bytes actually
+// arrive, so a replica claiming a huge size cannot make the client
+// commit the memory up front.
 func (c *Client) Fetch(lfn string) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := c.FetchTo(lfn, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FetchTo streams the whole file at lfn into w through pooled chunk
+// buffers, returning the byte count. The positional read protocol makes
+// retries resumable: a transport failure mid-fetch reopens the file
+// (possibly on another replica) and continues at the byte where the
+// previous attempt died, so the bytes already delivered to w are never
+// re-fetched or duplicated. A sink (w) failure is permanent — a retry
+// would feed the same broken sink.
+func (c *Client) FetchTo(lfn string, w io.Writer) (int64, error) {
 	var sp *trace.Span
 	if c.tracer != nil && c.parent.Valid() {
 		sp = c.tracer.Start(c.parent, "xrootd", "fetch")
 		sp.Attr("lfn", lfn)
 	}
 	defer sp.End()
-	var buf []byte
+	var written int64
 	err := c.Retry.Do(func() error {
-		var err error
-		buf, err = c.fetchOnce(lfn, sp)
+		n, err := c.fetchToOnce(lfn, w, written, sp)
+		written += n
 		return err
 	})
+	sp.AttrInt("bytes", written)
 	if err != nil {
 		sp.Attr("error", err.Error())
-		return nil, err
+		return written, err
 	}
-	return buf, nil
+	if reg := c.Telemetry; reg != nil {
+		reg.Bytes("xrootd_client", telemetry.DirIn).Add(written)
+	}
+	return written, nil
 }
 
-func (c *Client) fetchOnce(lfn string, sp *trace.Span) ([]byte, error) {
-	// One replica pass per fetch attempt: the outer policy in Fetch owns
-	// backoff, so the inner open must not retry on its own.
+// fetchToOnce performs one fetch attempt starting at offset start,
+// returning how many bytes it delivered to w. The outer policy in
+// FetchTo owns backoff, so the inner open must not retry on its own.
+func (c *Client) fetchToOnce(lfn string, w io.Writer, start int64, sp *trace.Span) (int64, error) {
 	inner := *c
 	inner.Retry = retry.Policy{}
 	f, err := inner.openPass(lfn, sp)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	defer f.Close()
 	sp.Attr("replica", f.conn.RemoteAddr().String())
-	sp.AttrInt("bytes", f.Size())
-	buf := make([]byte, f.Size())
-	var read int64
-	const chunk = 256 << 10
-	for read < f.Size() {
-		n := int64(chunk)
-		if f.Size()-read < n {
-			n = f.Size() - read
-		}
-		m, err := f.ReadAt(buf[read:read+n], read)
-		if err != nil {
-			return nil, err
-		}
-		if m == 0 {
-			return nil, fmt.Errorf("xrootd: unexpected EOF at %d/%d of %s", read, f.Size(), lfn)
-		}
-		read += int64(m)
+	if start > f.Size() {
+		return 0, retry.Permanent(fmt.Errorf(
+			"xrootd: %s shrank to %d bytes below resume offset %d", lfn, f.Size(), start))
 	}
-	return buf, nil
+	if start > 0 {
+		sp.AttrInt("resume_at", start)
+	}
+	f.offset = start
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	var n int64
+	for {
+		m, err := f.Read(*buf)
+		if m > 0 {
+			wn, werr := w.Write((*buf)[:m])
+			n += int64(wn)
+			if werr == nil && wn < m {
+				werr = io.ErrShortWrite
+			}
+			if werr != nil {
+				return n, retry.Permanent(fmt.Errorf("xrootd: writing payload to sink: %w", werr))
+			}
+		}
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
 }
