@@ -4,11 +4,11 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane
+.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane bench-scale
 
 all: check
 
-check: vet build test race chaos fuzz
+check: vet build test race chaos fuzz bench-scale
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz FuzzDispatch -fuzztime $(FUZZTIME) ./internal/chirp/
 	$(GO) test -fuzz FuzzReadEvents -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -fuzz FuzzBatchDispatch -fuzztime $(FUZZTIME) ./internal/wq/
 
 bench:
 	$(GO) test -bench=Fig -benchmem .
@@ -47,6 +48,16 @@ bench-kernel:
 # the BENCH_kernel.json baseline (best-of-3 vs best-of-baseline).
 bench-guard:
 	$(GO) run ./cmd/bench-guard
+
+# Dispatch-plane guard: reruns the sharded-master scale benchmarks
+# against BENCH_scale.json. The batched loopback path must hold its 5x
+# speedup over the pinned pre-PR single-message throughput, the match
+# loop must stay allocation-free at steady state (absolute bound), and
+# the 10k-worker sim must keep resident bytes per task record flat.
+# Wall clock gets the loose 50% -time-tolerance bound, like the data
+# plane; part of `make check`.
+bench-scale:
+	$(GO) run ./cmd/bench-guard -scale
 
 # Streaming data-plane guard: reruns the chirp/xrootd/squid transfer
 # benchmarks against BENCH_dataplane.json. Allocated bytes per op are

@@ -32,23 +32,38 @@ const (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json, or BENCH_dataplane.json with -dataplane)")
+		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json; BENCH_dataplane.json with -dataplane; BENCH_scale.json with -scale)")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional regression of best ns/op (of B/op with -dataplane)")
 		timeTol   = flag.Float64("time-tolerance", 0.50, "with -dataplane: allowed fractional regression of best ns/op; wall clock on shared hosts jitters far more than allocations, tighten on quiet hardware")
 		count     = flag.Int("count", 3, "benchmark repetitions (best of N)")
 		benchtime = flag.String("benchtime", "5x", "go test -benchtime per repetition")
 		update    = flag.Bool("update", false, "rewrite the baseline samples with this run's numbers")
 		dataplane = flag.Bool("dataplane", false, "guard the streaming data-plane benchmarks instead of the simulation kernel")
+		scale     = flag.Bool("scale", false, "guard the sharded dispatch-plane scale benchmarks instead of the simulation kernel")
 	)
 	flag.Parse()
 	var err error
-	if *dataplane {
+	switch {
+	case *scale:
+		path := *baseline
+		if path == "" {
+			path = "BENCH_scale.json"
+		}
+		bt := *benchtime
+		if bt == "5x" {
+			// Scale benchmarks need time-based runs: a handful of iterations
+			// measures pool/ring warmup, not the steady state the allocation
+			// bound is about.
+			bt = "2s"
+		}
+		err = runScale(path, *timeTol, *count, bt, *update)
+	case *dataplane:
 		path := *baseline
 		if path == "" {
 			path = "BENCH_dataplane.json"
 		}
 		err = runDataplane(path, *tolerance, *timeTol, *count, *benchtime, *update)
-	} else {
+	default:
 		path := *baseline
 		if path == "" {
 			path = "BENCH_kernel.json"

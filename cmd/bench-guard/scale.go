@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Dispatch-plane guard: reruns the sharded-master scale benchmarks and
+// fails if the PR's core claims stop holding against BENCH_scale.json:
+//
+//  1. Speedup: the batched loopback path must sustain at least
+//     min_speedup× the pinned pre-PR single-message throughput. The
+//     "before" numbers are pinned, not re-runnable — the single-lock,
+//     one-message-per-task master is gone.
+//  2. Allocation freedom: the match loop (pop → stamp → complete over
+//     the sharded table) must stay within max_allocs_per_op per
+//     64-task batch at steady state. Allocation counts are
+//     deterministic, so this bound is absolute, no tolerance.
+//  3. Footprint: the 10k-worker/100k-task sim must keep resident bytes
+//     per task record under max_task_bytes.
+//
+// Throughput additionally gets a loose regression guard against the
+// pinned "after" samples (-time-tolerance): wall clock on shared hosts
+// jitters far more than allocation counts do.
+
+const (
+	scaleMatchBench   = "BenchmarkMatchLoop"
+	scaleBatchedBench = "BenchmarkLoopbackDispatchBatched"
+	scaleSimBench     = "BenchmarkScaleSim"
+)
+
+// scaleBaseline is the BENCH_scale.json schema.
+type scaleBaseline struct {
+	Note       string  `json:"note"`
+	Recorded   string  `json:"recorded"`
+	Pkg        string  `json:"pkg"`
+	MinSpeedup float64 `json:"min_speedup"`
+
+	Before struct {
+		Note                string  `json:"note"`
+		LoopbackTasksPerSec float64 `json:"loopback_tasks_per_sec"`
+		TaskBytes           float64 `json:"task_bytes"`
+	} `json:"before"`
+
+	MatchLoop struct {
+		AfterTasksPerSec []float64 `json:"after_tasks_per_sec"`
+		MaxAllocsPerOp   float64   `json:"max_allocs_per_op"`
+	} `json:"match_loop"`
+
+	LoopbackBatched struct {
+		AfterTasksPerSec []float64 `json:"after_tasks_per_sec"`
+	} `json:"loopback_batched"`
+
+	ScaleSim struct {
+		AfterTasksPerSec []float64 `json:"after_tasks_per_sec"`
+		AfterTaskBytes   float64   `json:"after_task_bytes"`
+		MaxTaskBytes     float64   `json:"max_task_bytes"`
+	} `json:"scale_sim"`
+}
+
+// scaleResult collects one benchmark's fresh samples across -count runs.
+type scaleResult struct {
+	tasksPerSec []float64
+	taskBytes   []float64
+	allocsOp    []float64
+}
+
+func runScale(baselinePath string, timeTol float64, count int, benchtime string, update bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base scaleBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if base.Pkg == "" {
+		base.Pkg = "./internal/wq/"
+	}
+
+	pattern := "^(" + scaleMatchBench + "|" + scaleBatchedBench + "|" + scaleSimBench + ")$"
+	fmt.Printf("running %s -bench '%s', %d×%s...\n", base.Pkg, pattern, count, benchtime)
+	cmd := exec.Command("go", "test", base.Pkg, "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test %s: %w\n%s", base.Pkg, err, out)
+	}
+	fresh := parseScale(string(out))
+	for _, name := range []string{scaleMatchBench, scaleBatchedBench, scaleSimBench} {
+		if r := fresh[name]; r == nil || len(r.tasksPerSec) == 0 {
+			return fmt.Errorf("no %s tasks/s samples in benchmark output:\n%s", name, out)
+		}
+	}
+
+	if update {
+		base.MatchLoop.AfterTasksPerSec = fresh[scaleMatchBench].tasksPerSec
+		base.LoopbackBatched.AfterTasksPerSec = fresh[scaleBatchedBench].tasksPerSec
+		base.ScaleSim.AfterTasksPerSec = fresh[scaleSimBench].tasksPerSec
+		base.ScaleSim.AfterTaskBytes = minF(fresh[scaleSimBench].taskBytes)
+		enc, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s with fresh after samples\n", baselinePath)
+		return nil
+	}
+
+	var failures []string
+	// Throughput is noisy downward, never upward: compare best-of-N.
+	report := func(name string, freshBest, afterBest float64) {
+		fmt.Printf("%-35s %12.0f tasks/s vs pinned %12.0f (%+.1f%%)\n",
+			name, freshBest, afterBest, 100*(freshBest/afterBest-1))
+		if freshBest < afterBest*(1-timeTol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: best %.0f tasks/s vs pinned %.0f falls outside %.0f%% bound",
+				name, freshBest, afterBest, 100*timeTol))
+		}
+	}
+	report(scaleMatchBench, maxF(fresh[scaleMatchBench].tasksPerSec), maxF(base.MatchLoop.AfterTasksPerSec))
+	batchedBest := maxF(fresh[scaleBatchedBench].tasksPerSec)
+	report(scaleBatchedBench, batchedBest, maxF(base.LoopbackBatched.AfterTasksPerSec))
+	report(scaleSimBench, maxF(fresh[scaleSimBench].tasksPerSec), maxF(base.ScaleSim.AfterTasksPerSec))
+
+	// 1. The headline speedup claim against the pinned pre-PR path.
+	if before := base.Before.LoopbackTasksPerSec; before > 0 && base.MinSpeedup > 0 {
+		speedup := batchedBest / before
+		fmt.Printf("speedup over pre-PR single-message loopback: %.1fx (floor %.1fx)\n",
+			speedup, base.MinSpeedup)
+		if speedup < base.MinSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"batched dispatch speedup %.1fx below the %.1fx floor (fresh best %.0f tasks/s vs pinned before %.0f)",
+				speedup, base.MinSpeedup, batchedBest, before))
+		}
+	}
+
+	// 2. Steady-state allocations in the match loop: deterministic, so the
+	// bound is absolute. Best-of-N skips runs polluted by warmup growth.
+	allocs := minF(fresh[scaleMatchBench].allocsOp)
+	fmt.Printf("match loop steady state: %.0f allocs per %s op (bound %.0f)\n",
+		allocs, scaleMatchBench, base.MatchLoop.MaxAllocsPerOp)
+	if allocs > base.MatchLoop.MaxAllocsPerOp {
+		failures = append(failures, fmt.Sprintf(
+			"match loop allocates %.0f/op, bound %.0f — an allocation crept into the dispatch hot path",
+			allocs, base.MatchLoop.MaxAllocsPerOp))
+	}
+
+	// 3. Resident footprint per task record in the 10k-worker sim.
+	if bytes := minF(fresh[scaleSimBench].taskBytes); base.ScaleSim.MaxTaskBytes > 0 {
+		fmt.Printf("scale sim footprint: %.0f B/task-record (bound %.0f)\n",
+			bytes, base.ScaleSim.MaxTaskBytes)
+		if bytes > base.ScaleSim.MaxTaskBytes {
+			failures = append(failures, fmt.Sprintf(
+				"task record footprint %.0f B exceeds %.0f B bound — 100k workers / 1M tasks no longer fit the master",
+				bytes, base.ScaleSim.MaxTaskBytes))
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("dispatch-plane regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("ok: dispatch plane within budget")
+	return nil
+}
+
+// Benchmark output carries the custom metrics after ns/op, e.g.
+//
+//	BenchmarkScaleSim  14  80341132 ns/op  242 task-B  1244695 tasks/s  ...
+var (
+	scaleNameRe   = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s`)
+	scaleNum      = `(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)`
+	scaleTasksRe  = regexp.MustCompile(scaleNum + ` tasks/s`)
+	scaleBytesRe  = regexp.MustCompile(scaleNum + ` task-B`)
+	scaleAllocsRe = regexp.MustCompile(scaleNum + ` allocs/op`)
+)
+
+func parseScale(out string) map[string]*scaleResult {
+	res := make(map[string]*scaleResult)
+	for _, line := range strings.Split(out, "\n") {
+		m := scaleNameRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := res[m[1]]
+		if r == nil {
+			r = &scaleResult{}
+			res[m[1]] = r
+		}
+		if t := scaleTasksRe.FindStringSubmatch(line); t != nil {
+			if v, err := strconv.ParseFloat(t[1], 64); err == nil {
+				r.tasksPerSec = append(r.tasksPerSec, v)
+			}
+		}
+		if t := scaleBytesRe.FindStringSubmatch(line); t != nil {
+			if v, err := strconv.ParseFloat(t[1], 64); err == nil {
+				r.taskBytes = append(r.taskBytes, v)
+			}
+		}
+		if t := scaleAllocsRe.FindStringSubmatch(line); t != nil {
+			if v, err := strconv.ParseFloat(t[1], 64); err == nil {
+				r.allocsOp = append(r.allocsOp, v)
+			}
+		}
+	}
+	return res
+}
+
+func maxF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -11,6 +11,7 @@
 //	lobster-bench            # all figures at scale 0.25
 //	lobster-bench -scale 1   # full paper scale
 //	lobster-bench -only fig10,fig11
+//	lobster-bench -dispatch -scale 1   # 100k workers / 1M tasks through one master
 //	lobster-bench -cpuprofile cpu.pprof -memprofile mem.pprof -trace trace.out
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "scale of the big runs (1.0 = paper scale)")
 	only := flag.String("only", "", "comma-separated figure list (fig2,...,fig11); empty = all")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "maximum figures generated concurrently")
+	dispatch := flag.Bool("dispatch", false, "run the dispatch-plane scale harness (100k workers / 1M tasks at -scale 1) instead of the figures")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -51,7 +53,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lobster-bench:", err)
 		os.Exit(1)
 	}
-	runErr := run(*scale, sel, *jobs)
+	var runErr error
+	if *dispatch {
+		runErr = runDispatch(*scale)
+	} else {
+		runErr = run(*scale, sel, *jobs)
+	}
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}

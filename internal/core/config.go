@@ -114,6 +114,14 @@ type Config struct {
 	AnalysisFunc   string
 	SimulationFunc string
 	MergeFunc      string
+
+	// EventBatch coalesces completed-task records into "task_batch" events
+	// of up to this many records before hitting the structured event log,
+	// cutting per-record marshal and write overhead at high dispatch rates.
+	// 0 or 1 keeps the legacy one-"task"-event-per-record framing. Both
+	// framings replay with monitor.ReplayLog; any batched tail is flushed
+	// when Run returns.
+	EventBatch int
 }
 
 // withDefaults validates and fills defaults.

@@ -34,6 +34,8 @@ type Lobster struct {
 	resultTimeout time.Duration
 	epoch         time.Time
 
+	eventBatch []monitor.TaskRecord // pending records when cfg.EventBatch > 1
+
 	tel coreTelemetry
 }
 
@@ -143,6 +145,9 @@ func (l *Lobster) SetResultTimeout(d time.Duration) { l.resultTimeout = d }
 // Run executes the workflow to completion.
 func (l *Lobster) Run() (*RunReport, error) {
 	start := time.Now()
+	// Batched task events must reach the log even on an error return, or a
+	// replay would silently miss up to EventBatch-1 completed tasks.
+	defer l.flushTaskEvents()
 	recovered, err := l.prepare()
 	if err != nil {
 		return nil, err
@@ -480,8 +485,34 @@ func (l *Lobster) recordMonitor(r *wq.Result, info *inflightTask) {
 			t.Observe(telemetry.StageStageOut, pos(rec.StageOut+rec.WQStageOut))
 		}
 	}
-	l.svc.EventLog.Emit("task", rec)
+	l.emitTaskEvent(rec)
 	if l.svc.Monitor != nil {
 		l.svc.Monitor.Add(rec)
 	}
+}
+
+// emitTaskEvent feeds one completed-task record to the structured event
+// log, coalescing into "task_batch" events when cfg.EventBatch > 1.
+func (l *Lobster) emitTaskEvent(rec monitor.TaskRecord) {
+	if l.svc.EventLog == nil {
+		return
+	}
+	if l.cfg.EventBatch <= 1 {
+		l.svc.EventLog.Emit("task", rec)
+		return
+	}
+	l.eventBatch = append(l.eventBatch, rec)
+	if len(l.eventBatch) >= l.cfg.EventBatch {
+		l.flushTaskEvents()
+	}
+}
+
+// flushTaskEvents emits any batched records. Emit marshals synchronously,
+// so the backing array is free for reuse as soon as it returns.
+func (l *Lobster) flushTaskEvents() {
+	if len(l.eventBatch) == 0 {
+		return
+	}
+	l.svc.EventLog.Emit("task_batch", l.eventBatch)
+	l.eventBatch = l.eventBatch[:0]
 }

@@ -63,6 +63,12 @@ func MergeExecutorOpts(chirpAddr string, opts MergeOptions) wq.Executor {
 		if len(inputs) == 0 || inputs[0] == "" || out == "" {
 			return fmt.Errorf("merge task needs inputs and output")
 		}
+		// Merge tasks declare no input or output files — everything moves
+		// over chirp — so the worker never created the sandbox the spool
+		// files below need.
+		if err := ctx.EnsureSandbox(); err != nil {
+			return fmt.Errorf("merge sandbox: %w", err)
+		}
 		pool := chirp.NewPool(chirp.PoolOptions{
 			Addr:        chirpAddr,
 			Size:        mergeParallelism,

@@ -6,9 +6,11 @@ package core
 // and the monitoring pipeline.
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -24,6 +26,7 @@ import (
 	"lobster/internal/squid"
 	"lobster/internal/stats"
 	"lobster/internal/store"
+	"lobster/internal/telemetry"
 	"lobster/internal/wq"
 	"lobster/internal/xrootd"
 )
@@ -365,6 +368,44 @@ func TestSimulationWorkflowEndToEnd(t *testing.T) {
 	}
 	if total != 500*8 {
 		t.Errorf("simulated output bytes = %d, want 4000", total)
+	}
+}
+
+// TestEventBatchedLogReplays runs a workflow with event batching enabled
+// and checks (a) the log carries "task_batch" framing with no per-record
+// "task" events, including the flushed sub-batch tail, and (b) replaying
+// it rebuilds a monitor DB identical to the live one.
+func TestEventBatchedLogReplays(t *testing.T) {
+	st := startStack(t, 4, 4, 20, nil) // 16 tasklets -> 8 tasks
+	var buf bytes.Buffer
+	st.svc.EventLog = telemetry.NewEventLog(&buf, nil)
+	rep := runWorkflow(t, st, Config{
+		Name: "evb", Kind: KindAnalysis, Dataset: st.dataset.Name,
+		TaskletsPerTask: 2, EventBatch: 3, // 8 records -> 2 full batches + tail of 2
+	})
+	if !rep.Succeeded() || rep.TasksRun != 8 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := st.svc.EventLog.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	log := buf.String()
+	if strings.Contains(log, `"type":"task"`) {
+		t.Error("batched run emitted single-record task events")
+	}
+	if n := strings.Count(log, `"type":"task_batch"`); n != 3 {
+		t.Errorf("task_batch events = %d, want 3 (two full, one flushed tail)", n)
+	}
+	rebuilt := monitor.New()
+	n, err := rebuilt.ReplayLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("replayed %d records, want 8", n)
+	}
+	if !reflect.DeepEqual(st.svc.Monitor.Records(), rebuilt.Records()) {
+		t.Error("replayed records differ from live monitor")
 	}
 }
 

@@ -309,6 +309,68 @@ func TestChaosWrapperSegmentStorm(t *testing.T) {
 	}
 }
 
+// TestChaosPoisonTaskPermanentFailure drives the queue's retry budget
+// under a storm that kills every worker connection on its first read —
+// the worst case where a task's every dispatch ends in a lost worker.
+// The task must terminate as a typed permanent failure after
+// MaxRetries+1 attempts instead of cycling through the fleet forever,
+// and the queue must come to rest with nothing waiting or in flight.
+func TestChaosPoisonTaskPermanentFailure(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{
+		Seed: 6,
+		Rules: []faultinject.Rule{
+			{Component: "wq_worker", Op: "read", Action: faultinject.ActDrop, Every: 1},
+		},
+	})
+	m, err := wq.NewMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	reg := wq.Registry{"noop": func(*wq.ExecContext) error { return nil }}
+	const maxRetries = 3
+	id, err := m.Submit(&wq.Task{Func: "noop", MaxRetries: maxRetries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *wq.Result
+	// Each doomed worker can burn at most one dispatch attempt; a few
+	// extra cover connections the storm kills before dispatch.
+	for attempt := 0; attempt < 20 && res == nil; attempt++ {
+		w, err := wq.NewWorkerOpts(m.Addr(), fmt.Sprintf("doomed%d", attempt), 1,
+			t.TempDir(), reg, wq.WorkerOptions{Fault: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for m.Stats().WorkersLost <= attempt {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d never died under the drop storm", attempt)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		w.Close()
+		if r, ok := m.WaitResult(100 * time.Millisecond); ok {
+			res = r
+		}
+	}
+	if res == nil {
+		t.Fatal("poison task never reached a terminal result")
+	}
+	if res.TaskID != id || res.ExitCode != -1 || !res.PermanentlyFailed() {
+		t.Fatalf("terminal result not a typed permanent failure: %+v", res)
+	}
+	if res.Requeues != maxRetries+1 {
+		t.Errorf("requeues = %d, want %d (MaxRetries+1 attempts)", res.Requeues, maxRetries+1)
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("storm never fired")
+	}
+	if s := m.Stats(); s.TasksWaiting != 0 || s.TasksRunning != 0 {
+		t.Errorf("queue not at rest after permanent failure: %+v", s)
+	}
+}
+
 // TestChaosDeterminism replays one storm twice with the same plan and
 // seed: the verdict counts per seam must be identical, which is what
 // makes a chaos failure reproducible from its JSON plan alone.

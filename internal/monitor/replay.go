@@ -11,8 +11,9 @@ import (
 // ReplayLog rebuilds the monitor's record database from a structured JSONL
 // event log (the crash-recovery path: a restarted Lobster replays the log
 // its predecessor emitted). Events with type "task" carry one TaskRecord
-// each; other event types are skipped. Returns the number of records
-// replayed.
+// each; "task_batch" events carry a slice of them (written by runs with
+// event batching enabled); other event types are skipped. Returns the
+// number of records replayed.
 func (m *Monitor) ReplayLog(r io.Reader) (int, error) {
 	n := 0
 	err := telemetry.ReadEvents(r, m.replayEvent(&n))
@@ -30,15 +31,24 @@ func (m *Monitor) ReplayLogPath(path string) (int, error) {
 
 func (m *Monitor) replayEvent(n *int) func(telemetry.Event) error {
 	return func(ev telemetry.Event) error {
-		if ev.Type != "task" {
-			return nil
+		switch ev.Type {
+		case "task":
+			var rec TaskRecord
+			if err := json.Unmarshal(ev.Data, &rec); err != nil {
+				return fmt.Errorf("monitor: replaying task event: %w", err)
+			}
+			m.Add(rec)
+			*n++
+		case "task_batch":
+			var recs []TaskRecord
+			if err := json.Unmarshal(ev.Data, &recs); err != nil {
+				return fmt.Errorf("monitor: replaying task_batch event: %w", err)
+			}
+			for _, rec := range recs {
+				m.Add(rec)
+				*n++
+			}
 		}
-		var rec TaskRecord
-		if err := json.Unmarshal(ev.Data, &rec); err != nil {
-			return fmt.Errorf("monitor: replaying task event: %w", err)
-		}
-		m.Add(rec)
-		*n++
 		return nil
 	}
 }

@@ -65,6 +65,56 @@ func TestReplayLogEquivalence(t *testing.T) {
 	}
 }
 
+// TestReplayLogBatchedEvents replays a log mixing single "task" events
+// with "task_batch" events (the framing runs with event batching enabled
+// write) and checks the rebuilt DB matches a monitor fed the same records
+// one at a time.
+func TestReplayLogBatchedEvents(t *testing.T) {
+	live := New()
+	var buf bytes.Buffer
+	log := telemetry.NewEventLog(&buf, nil)
+	mk := func(i int) TaskRecord {
+		return TaskRecord{
+			TaskID: int64(i + 1), Kind: "analysis", Worker: fmt.Sprintf("w%d", i%3),
+			Submit: float64(i), Start: float64(i) + 1, Finish: float64(i) + 8,
+			CPUTime: 4, ExitCode: []int{0, 0, 40}[i%3],
+		}
+	}
+	i := 0
+	for i < 10 { // singles first: old-style prefix of a mixed log
+		rec := mk(i)
+		live.Add(rec)
+		log.Emit("task", rec)
+		i++
+	}
+	for i < 50 { // then batches of 8
+		batch := make([]TaskRecord, 0, 8)
+		for len(batch) < 8 && i < 50 {
+			rec := mk(i)
+			live.Add(rec)
+			batch = append(batch, rec)
+			i++
+		}
+		log.Emit("task_batch", batch)
+	}
+	log.Emit("task_batch", []TaskRecord{}) // empty batch: harmless no-op
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := New()
+	n, err := rebuilt.ReplayLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("replayed %d records, want 50", n)
+	}
+	if !reflect.DeepEqual(live.Records(), rebuilt.Records()) {
+		t.Error("replayed records differ from live records")
+	}
+}
+
 // TestReplayLogPathRotated replays a size-capped, rotated on-disk log
 // and checks the rebuilt DB holds every record across all segments.
 func TestReplayLogPathRotated(t *testing.T) {

@@ -32,6 +32,7 @@ type Foreman struct {
 	relayed atomic.Int64
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	upBatch atomic.Bool // upstream master acked batch framing
 
 	// telRelayed/telErrors/tracer are installed after the relay loops
 	// are already running, so publication must be atomic (nil loads are
@@ -119,7 +120,7 @@ func NewForemanOpts(upstreamAddr, listenAddr, name string, cores int, opts Forem
 		cache:    newContentCache(),
 		idMap:    make(map[int64]relayEntry),
 	}
-	if err := f.upstream.send(&message{Type: "hello", Name: name, Cores: cores}); err != nil {
+	if err := f.upstream.send(&message{Type: "hello", Name: name, Cores: cores, Proto: protoBatch}); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -163,74 +164,126 @@ func (f *Foreman) taskLoop() {
 		}
 		switch msg.Type {
 		case "task":
-			if msg.Task == nil {
-				continue
+			if msg.Task != nil {
+				f.relayTask(msg.Task)
 			}
-			t := msg.Task
-			upstreamID := t.ID
-			// The relay span chains under the master's dispatch context
-			// and is re-stamped into the task, so the downstream
-			// master's own spans nest under this foreman hop.
-			var span *trace.Span
-			if tr := f.tracer.Load(); tr != nil {
-				wireCtx, _ := trace.Parse(t.Trace)
-				span = tr.Start(wireCtx, "foreman", "relay")
-				span.Attr("foreman", f.name)
-				t.Trace = span.Context().Encode()
+		case "tasks":
+			// Batch framing from upstream: relay in slice order so a
+			// data-bearing cacheable input is cached before a later
+			// hash-only reference to it resolves.
+			for _, t := range msg.Tasks {
+				if t != nil {
+					f.relayTask(t)
+				}
 			}
-			// Materialise stripped cacheable inputs from the foreman cache
-			// so they can be re-encoded per downstream connection.
-			if _, _, err := decodeInputs(t, f.cache); err != nil {
-				f.telErrors.Load().Inc()
-				span.Attr("error", "cache")
-				span.End()
-				f.upstream.send(&message{Type: "result", Result: &Result{
-					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
-					ExitCode: 170, Error: fmt.Sprintf("foreman cache: %v", err),
-				}})
-				continue
+		case "hello":
+			// Upstream's capability ack: batched results are welcome.
+			if msg.Proto >= protoBatch {
+				f.upBatch.Store(true)
 			}
-			downID, err := f.down.Submit(t)
-			if err != nil {
-				f.telErrors.Load().Inc()
-				span.Attr("error", "submit")
-				span.End()
-				f.upstream.send(&message{Type: "result", Result: &Result{
-					TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
-					ExitCode: 170, Error: fmt.Sprintf("foreman submit: %v", err),
-				}})
-				continue
-			}
-			f.mu.Lock()
-			f.idMap[downID] = relayEntry{upID: upstreamID, span: span}
-			f.mu.Unlock()
 		case "ping":
 			f.upstream.send(&message{Type: "ping"})
 		}
 	}
 }
 
+// relayTask resubmits one upstream task to the downstream master,
+// recording the ID mapping for the result path. Cache and submit errors
+// are answered upstream immediately as task failures.
+func (f *Foreman) relayTask(t *Task) {
+	upstreamID := t.ID
+	// The relay span chains under the master's dispatch context
+	// and is re-stamped into the task, so the downstream
+	// master's own spans nest under this foreman hop.
+	var span *trace.Span
+	if tr := f.tracer.Load(); tr != nil {
+		wireCtx, _ := trace.Parse(t.Trace)
+		span = tr.Start(wireCtx, "foreman", "relay")
+		span.Attr("foreman", f.name)
+		t.Trace = span.Context().Encode()
+	}
+	// Materialise stripped cacheable inputs from the foreman cache
+	// so they can be re-encoded per downstream connection.
+	if _, _, err := decodeInputs(t, f.cache); err != nil {
+		f.telErrors.Load().Inc()
+		span.Attr("error", "cache")
+		span.End()
+		f.upstream.send(&message{Type: "result", Result: &Result{
+			TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
+			ExitCode: 170, Error: fmt.Sprintf("foreman cache: %v", err),
+		}})
+		return
+	}
+	downID, err := f.down.Submit(t)
+	if err != nil {
+		f.telErrors.Load().Inc()
+		span.Attr("error", "submit")
+		span.End()
+		f.upstream.send(&message{Type: "result", Result: &Result{
+			TaskID: upstreamID, Tag: t.Tag, Worker: f.name,
+			ExitCode: 170, Error: fmt.Sprintf("foreman submit: %v", err),
+		}})
+		return
+	}
+	f.mu.Lock()
+	f.idMap[downID] = relayEntry{upID: upstreamID, span: span}
+	f.mu.Unlock()
+}
+
+// relayResult settles one downstream result against the ID map and
+// restores its upstream identity, returning nil for unknown (duplicate
+// or locally-failed) tasks.
+func (f *Foreman) relayResult(r *Result) *Result {
+	f.mu.Lock()
+	entry, known := f.idMap[r.TaskID]
+	delete(f.idMap, r.TaskID)
+	f.mu.Unlock()
+	if !known {
+		return nil
+	}
+	entry.span.AttrInt("exit_code", int64(r.ExitCode))
+	entry.span.End()
+	r.TaskID = entry.upID
+	f.relayed.Add(1)
+	f.telRelayed.Load().Inc()
+	return r
+}
+
 // resultLoop relays downstream results upstream with their original IDs.
+// When upstream speaks batch framing, each blocking wait is followed by a
+// non-blocking sweep of whatever else has already finished downstream, so
+// a burst of completions rides one "results" message.
 func (f *Foreman) resultLoop() {
 	defer f.wg.Done()
+	sweep := make([]*Result, batchMax)
+	out := make([]*Result, 0, batchMax)
 	for {
 		r, ok := f.down.WaitResult(0)
 		if !ok {
 			return
 		}
-		f.mu.Lock()
-		entry, known := f.idMap[r.TaskID]
-		delete(f.idMap, r.TaskID)
-		f.mu.Unlock()
-		if !known {
-			continue
+		out = out[:0]
+		if rr := f.relayResult(r); rr != nil {
+			out = append(out, rr)
 		}
-		entry.span.AttrInt("exit_code", int64(r.ExitCode))
-		entry.span.End()
-		r.TaskID = entry.upID
-		f.relayed.Add(1)
-		f.telRelayed.Load().Inc()
-		if err := f.upstream.send(&message{Type: "result", Result: r}); err != nil {
+		if f.upBatch.Load() {
+			n := f.down.takeResults(sweep[:batchMax-len(out)])
+			for _, r2 := range sweep[:n] {
+				if rr := f.relayResult(r2); rr != nil {
+					out = append(out, rr)
+				}
+			}
+		}
+		var err error
+		switch {
+		case len(out) == 0:
+			continue
+		case f.upBatch.Load():
+			err = f.upstream.send(&message{Type: "results", Results: out})
+		default:
+			err = f.upstream.send(&message{Type: "result", Result: out[0]})
+		}
+		if err != nil {
 			return
 		}
 	}

@@ -1,0 +1,61 @@
+package wq
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzBatchDispatch feeds an arbitrary byte stream to the master's
+// per-connection protocol handler — hello negotiation, v0 and batch
+// framing, results for tasks the connection does and does not own. The
+// handler must never panic and must keep the dispatch-plane accounting
+// consistent: no negative in-flight or queue counts, no matter how the
+// peer lies.
+func FuzzBatchDispatch(f *testing.F) {
+	hello := `{"type":"hello","name":"w","cores":2}` + "\n"
+	helloBatch := `{"type":"hello","name":"w","cores":2,"proto":1}` + "\n"
+	f.Add([]byte(hello + `{"type":"result","result":{"task_id":1,"worker":"w"}}` + "\n"))
+	f.Add([]byte(helloBatch + `{"type":"results","results":[{"task_id":1},{"task_id":2}]}` + "\n"))
+	f.Add([]byte(helloBatch + `{"type":"results","results":[{"task_id":1},{"task_id":1}]}` + "\n"))
+	f.Add([]byte(hello + `{"type":"result","result":{"task_id":-9223372036854775808}}` + "\n"))
+	f.Add([]byte(helloBatch + `{"type":"results","results":[null,null]}` + "\n"))
+	f.Add([]byte(helloBatch + `{"type":"ping"}` + "\n" + `{"type":"tasks"}` + "\n"))
+	f.Add([]byte(`{"type":"hello","cores":-1}` + "\n"))
+	f.Add([]byte(`{"type":"bogus"}` + "\n"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(hello + `{"type":"result","result":{"task_id":3,"exit_code":170,"error":"x","outputs":[{"name":"o","data":"aGk="}]}}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := newLocalMaster()
+		server, client := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			m.serveWorker(newConn(server))
+			close(done)
+		}()
+		// Real queued work, so a valid fuzzed hello draws genuine
+		// dispatch traffic whose results the stream may then forge.
+		for i := 0; i < 4; i++ {
+			if _, err := m.Submit(&Task{Func: "noop"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain the master's side of the synchronous pipe so its
+		// dispatcher can never block on us.
+		go io.Copy(io.Discard, client)
+		client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		client.Write(data) // error just means the handler hung up first
+		client.Close()
+		<-done
+		if n := m.running.Load(); n < 0 {
+			t.Fatalf("in-flight count went negative: %d", n)
+		}
+		if n := m.d.pending.Load(); n < 0 {
+			t.Fatalf("queue depth went negative: %d", n)
+		}
+		if s := m.Stats(); s.TasksDone > s.TasksDispatched {
+			t.Fatalf("more results than dispatches: %+v", s)
+		}
+	})
+}

@@ -13,10 +13,11 @@ import (
 	"lobster/internal/trace"
 )
 
-// MasterStats is a snapshot of master-side counters. Every field is read
-// under the master mutex in one critical section (plus the result mutex for
-// ResultsPending), so a snapshot is internally consistent — no torn reads
-// between, say, TasksRunning and TasksDispatched.
+// MasterStats is a snapshot of master-side counters. Counters are lock-free
+// atomics read individually, so a snapshot is internally relaxed: each field
+// is exact at its own read instant, but fields read microseconds apart may
+// straddle a task completing (TasksRunning and TasksDone can transiently sum
+// one high or low). Monitoring consumers tolerate that; tests quiesce first.
 type MasterStats struct {
 	WorkersConnected int // currently connected (foremen count as one)
 	WorkersSeen      int // total hellos
@@ -34,34 +35,37 @@ type MasterStats struct {
 }
 
 // Master owns the task queue and distributes work to connected workers.
+//
+// All per-task state lives in the sharded dispatchTable (see shard.go):
+// Submit, dispatch, completion and requeue each lock only the one stripe a
+// task hashes to, so the hot path never serialises the whole fleet on a
+// master-wide mutex. Per-connection slot accounting lives on the
+// workerConn's own lock, and fleet-wide counters are plain atomics.
 type Master struct {
 	lis net.Listener
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	closed  bool
-	nextID  int64
-	ready   []*Task // FIFO
-	running map[int64]*assignment
-	submitT map[int64]time.Time
-	dispT   map[int64]time.Time
-	retries map[int64]int
-	workers map[*workerConn]bool
+	d      *dispatchTable
+	nextID atomic.Int64
+	closed atomic.Bool
+
+	running atomic.Int64 // dispatched, result not yet received
+
+	workersMu sync.Mutex
+	workers   map[*workerConn]bool
 
 	resMu   sync.Mutex
 	resCond *sync.Cond
 	results []*Result
 
-	statsSeen, statsLost, statsDone, statsFailed, statsRequeues int
-	statsDispatched                                             int
-	statsBytesOut, statsBytesIn                                 int64
+	statsSeen, statsLost, statsDone, statsFailed atomic.Int64
+	statsRequeues, statsDispatched               atomic.Int64
+	statsBytesOut, statsBytesIn                  atomic.Int64
 
-	// tel and fault are installed after the accept loop is already
-	// running, so publication must be atomic. tracer is guarded by mu.
+	// tel, fault and tracer are installed after the accept loop is already
+	// running, so publication must be atomic.
 	tel    atomic.Pointer[masterTelemetry]
 	fault  atomic.Pointer[faultinject.Injector]
-	tracer *trace.Tracer
-	traces map[int64]*taskTrace // by task ID; nil unless Trace was called
+	tracer atomic.Pointer[trace.Tracer]
 
 	wg sync.WaitGroup
 }
@@ -93,9 +97,6 @@ type masterTelemetry struct {
 	dispatchWait *telemetry.Histogram
 }
 
-// Instrument registers the master's metric series on reg and begins
-// updating them. Call once, before heavy traffic; a nil registry leaves
-// the master uninstrumented at zero cost.
 // noMasterTel is the disabled instrument set: every field nil, every
 // call a nil-receiver no-op.
 var noMasterTel masterTelemetry
@@ -108,6 +109,9 @@ func (m *Master) telemetry() *masterTelemetry {
 	return &noMasterTel
 }
 
+// Instrument registers the master's metric series on reg and begins
+// updating them. Call once, before heavy traffic; a nil registry leaves
+// the master uninstrumented at zero cost.
 func (m *Master) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -134,34 +138,16 @@ func (m *Master) Instrument(reg *telemetry.Registry) {
 	})
 	reg.GaugeFunc("lobster_wq_tasks_waiting",
 		"Tasks submitted and awaiting dispatch (queue depth).",
-		func() float64 { return float64(m.Stats().TasksWaiting) })
+		func() float64 { return float64(m.d.pending.Load()) })
 	reg.GaugeFunc("lobster_wq_tasks_running",
 		"Tasks dispatched and awaiting results (in flight).",
-		func() float64 { return float64(m.Stats().TasksRunning) })
+		func() float64 { return float64(m.running.Load()) })
 	reg.GaugeFunc("lobster_wq_workers_connected",
 		"Workers (or foremen) currently connected.",
 		func() float64 { return float64(m.Stats().WorkersConnected) })
 	reg.GaugeFunc("lobster_wq_cores_connected",
 		"Cores advertised by connected workers.",
 		func() float64 { return float64(m.Stats().CoresConnected) })
-}
-
-type assignment struct {
-	task *Task
-	wc   *workerConn
-}
-
-// taskTrace is the master-side tracing state of one in-flight task: the
-// per-task root span (or hop span when the task arrived with an
-// upstream context), the span of the current dispatch attempt, and when
-// the task last became ready (submit or requeue), which bounds the
-// "submit" queue-wait span stamped at dispatch. Access is ordered by
-// the master mutex; spans are ended outside it.
-type taskTrace struct {
-	root     *trace.Span
-	rootCtx  trace.Context
-	dispatch *trace.Span
-	readyAt  float64
 }
 
 // Trace attaches a tracer: every task gets a root span spanning
@@ -171,24 +157,45 @@ type taskTrace struct {
 // relaying) chain under it instead of starting a new trace. Call before
 // traffic; a nil tracer leaves the master untraced at zero cost.
 func (m *Master) Trace(tr *trace.Tracer) {
-	if tr == nil {
-		return
+	if tr != nil {
+		m.tracer.Store(tr)
 	}
-	m.mu.Lock()
-	m.tracer = tr
-	if m.traces == nil {
-		m.traces = make(map[int64]*taskTrace)
-	}
-	m.mu.Unlock()
 }
 
+// workerConn is the master's end of one worker (or foreman) connection.
+// The dispatch scratch buffers (popBuf, taskBuf, encScratch, msg) are
+// owned by the connection's single dispatcher goroutine and sized once at
+// hello, so a dispatch round reuses the same memory end to end.
 type workerConn struct {
 	name  string
 	cores int
-	inUse int
-	dead  bool
+	batch bool   // peer negotiated batch framing (proto >= protoBatch)
+	home  uint32 // home dispatch queue, hashed from the peer identity
 	conn  *conn
 	sent  *sentSet
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// inUse counts reserved slots: increased by the dispatcher, decreased
+	// by completions, guarded by mu.
+	inUse int
+	dead  atomic.Bool
+
+	popBuf     []*taskMeta
+	taskBuf    []*Task
+	encScratch []Task
+	msg        message
+}
+
+// homeQueue maps a peer identity onto a dispatch queue (FNV-1a). Foremen
+// are the natural shard key: each foreman's dispatcher drains its own
+// stripe first and steals from the others only when it runs dry.
+func homeQueue(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h & (shardCount - 1)
 }
 
 // NewMaster starts a master listening on addr (e.g. "127.0.0.1:0").
@@ -199,13 +206,9 @@ func NewMaster(addr string) (*Master, error) {
 	}
 	m := &Master{
 		lis:     lis,
-		running: make(map[int64]*assignment),
-		submitT: make(map[int64]time.Time),
-		dispT:   make(map[int64]time.Time),
-		retries: make(map[int64]int),
+		d:       newDispatchTable(),
 		workers: make(map[*workerConn]bool),
 	}
-	m.cond = sync.NewCond(&m.mu)
 	m.resCond = sync.NewCond(&m.resMu)
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -223,59 +226,58 @@ func (m *Master) Submit(t *Task) (int64, error) {
 	if t.MaxRetries <= 0 {
 		t.MaxRetries = 5
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return 0, errors.New("wq: master is closed")
 	}
-	m.nextID++
-	t.ID = m.nextID
-	if m.tracer != nil {
+	id := m.nextID.Add(1)
+	t.ID = id
+	mt := newTaskMeta()
+	mt.task = t
+	mt.submitted = time.Now()
+	if tr := m.tracer.Load(); tr != nil {
 		var span *trace.Span
 		if ctx, ok := trace.Parse(t.Trace); ok {
-			span = m.tracer.Start(ctx, "master", "task") // downstream hop (foreman)
+			span = tr.Start(ctx, "master", "task") // downstream hop (foreman)
 		} else {
-			span = m.tracer.Root("master", "task", t.Tag)
+			span = tr.Root("master", "task", t.Tag)
 		}
-		span.AttrInt("task_id", t.ID)
+		span.AttrInt("task_id", id)
 		if t.Tag != "" {
 			span.Attr("tag", t.Tag)
 		}
 		t.Trace = span.Context().Encode()
-		m.traces[t.ID] = &taskTrace{
-			root: span, rootCtx: span.Context(), readyAt: m.tracer.Now(),
-		}
+		mt.tt = &taskTrace{root: span, rootCtx: span.Context(), readyAt: tr.Now()}
 	}
-	m.ready = append(m.ready, t)
-	m.submitT[t.ID] = time.Now()
-	m.cond.Broadcast()
-	return t.ID, nil
+	sh := m.d.stateOf(id)
+	sh.mu.Lock()
+	sh.tasks[id] = mt
+	sh.mu.Unlock()
+	m.d.enqueue(mt)
+	return id, nil
 }
 
 // Stats returns a snapshot of master counters.
 func (m *Master) Stats() MasterStats {
-	m.mu.Lock()
 	s := MasterStats{
-		WorkersSeen:     m.statsSeen,
-		WorkersLost:     m.statsLost,
-		TasksWaiting:    len(m.ready),
-		TasksRunning:    len(m.running),
-		TasksDispatched: m.statsDispatched,
-		TasksDone:       m.statsDone,
-		TasksFailed:     m.statsFailed,
-		Requeues:        m.statsRequeues,
-		BytesSent:       m.statsBytesOut,
-		BytesReceived:   m.statsBytesIn,
+		WorkersSeen:     int(m.statsSeen.Load()),
+		WorkersLost:     int(m.statsLost.Load()),
+		TasksWaiting:    int(m.d.pending.Load()),
+		TasksRunning:    int(m.running.Load()),
+		TasksDispatched: int(m.statsDispatched.Load()),
+		TasksDone:       int(m.statsDone.Load()),
+		TasksFailed:     int(m.statsFailed.Load()),
+		Requeues:        int(m.statsRequeues.Load()),
+		BytesSent:       m.statsBytesOut.Load(),
+		BytesReceived:   m.statsBytesIn.Load(),
 	}
+	m.workersMu.Lock()
 	for wc := range m.workers {
-		if !wc.dead {
+		if !wc.dead.Load() {
 			s.WorkersConnected++
 			s.CoresConnected += wc.cores
 		}
 	}
-	m.mu.Unlock()
-	// resMu is taken after m.mu is released: WaitResult holds resMu while
-	// acquiring m.mu, so nesting them here would invert the lock order.
+	m.workersMu.Unlock()
 	m.resMu.Lock()
 	s.ResultsPending = len(m.results)
 	m.resMu.Unlock()
@@ -300,10 +302,7 @@ func (m *Master) WaitResult(timeout time.Duration) (*Result, bool) {
 	m.resMu.Lock()
 	defer m.resMu.Unlock()
 	for len(m.results) == 0 {
-		m.mu.Lock()
-		closed := m.closed
-		m.mu.Unlock()
-		if closed {
+		if m.closed.Load() {
 			return nil, false
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
@@ -316,6 +315,18 @@ func (m *Master) WaitResult(timeout time.Duration) (*Result, bool) {
 	return r, true
 }
 
+// takeResults moves up to len(dst) already-arrived results into dst
+// without blocking, returning the count. The batch analogue of a
+// non-blocking WaitResult: a drainer sweeps whatever a results batch
+// delivered in one lock acquisition.
+func (m *Master) takeResults(dst []*Result) int {
+	m.resMu.Lock()
+	n := copy(dst, m.results)
+	m.results = m.results[n:]
+	m.resMu.Unlock()
+	return n
+}
+
 // pushResult records a completed task outcome.
 func (m *Master) pushResult(r *Result) {
 	m.resMu.Lock()
@@ -324,20 +335,32 @@ func (m *Master) pushResult(r *Result) {
 	m.resMu.Unlock()
 }
 
+// pushResults records a batch of outcomes under one lock acquisition.
+func (m *Master) pushResults(rs []*Result) {
+	if len(rs) == 0 {
+		return
+	}
+	m.resMu.Lock()
+	m.results = append(m.results, rs...)
+	m.resCond.Broadcast()
+	m.resMu.Unlock()
+}
+
 // Close shuts the master down. Queued and running tasks are abandoned.
 func (m *Master) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return nil
 	}
-	m.closed = true
+	m.workersMu.Lock()
 	for wc := range m.workers {
-		wc.dead = true
+		wc.dead.Store(true)
 		wc.conn.close()
+		wc.mu.Lock()
+		wc.cond.Broadcast()
+		wc.mu.Unlock()
 	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
+	m.workersMu.Unlock()
+	m.d.wakeAll()
 	m.resMu.Lock()
 	m.resCond.Broadcast()
 	m.resMu.Unlock()
@@ -362,6 +385,16 @@ func (m *Master) acceptLoop() {
 	}
 }
 
+// markDead takes wc out of dispatch: the dispatcher wakes (whether it is
+// waiting for a slot or parked on the idle condition) and exits.
+func (m *Master) markDead(wc *workerConn) {
+	wc.dead.Store(true)
+	wc.mu.Lock()
+	wc.cond.Broadcast()
+	wc.mu.Unlock()
+	m.d.wakeAll()
+}
+
 // serveWorker owns one worker connection: reads the hello, then runs the
 // dispatch loop and result reader until the connection dies.
 func (m *Master) serveWorker(c *conn) {
@@ -370,15 +403,38 @@ func (m *Master) serveWorker(c *conn) {
 	if err != nil || hello.Type != "hello" || hello.Cores < 1 {
 		return
 	}
-	wc := &workerConn{name: hello.Name, cores: hello.Cores, conn: c, sent: newSentSet()}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	wc := &workerConn{
+		name:  hello.Name,
+		cores: hello.Cores,
+		batch: hello.Proto >= protoBatch,
+		home:  homeQueue(hello.Name),
+		conn:  c,
+		sent:  newSentSet(),
+	}
+	wc.cond = sync.NewCond(&wc.mu)
+	width := 1
+	if wc.batch {
+		width = min(wc.cores, batchMax)
+	}
+	wc.popBuf = make([]*taskMeta, width)
+	wc.taskBuf = make([]*Task, 0, width)
+	wc.encScratch = make([]Task, width)
+	if wc.batch {
+		// Ack the batch capability so the peer knows it may send batched
+		// results; an old peer never advertised, never gets the ack, and
+		// the connection stays on single-message framing.
+		if err := c.send(&message{Type: "hello", Proto: protoBatch}); err != nil {
+			return
+		}
+	}
+	m.workersMu.Lock()
+	if m.closed.Load() {
+		m.workersMu.Unlock()
 		return
 	}
 	m.workers[wc] = true
-	m.statsSeen++
-	m.mu.Unlock()
+	m.workersMu.Unlock()
+	m.statsSeen.Add(1)
 	m.telemetry().workersSeen.Inc()
 
 	done := make(chan struct{})
@@ -387,57 +443,70 @@ func (m *Master) serveWorker(c *conn) {
 		close(done)
 	}()
 	m.readLoop(wc)
-	// Connection is gone: unblock the dispatcher and requeue.
-	m.mu.Lock()
-	wc.dead = true
-	m.statsLost++
-	delete(m.workers, wc)
-	var lost []*Task
-	for id, a := range m.running {
-		if a.wc == wc {
-			lost = append(lost, a.task)
-			delete(m.running, id)
-		}
-	}
-	m.cond.Broadcast()
-	m.mu.Unlock()
-	m.telemetry().workersLost.Inc()
+	// Connection is gone: unblock the dispatcher, then requeue what the
+	// connection held. The scan waits for the dispatcher to exit so no
+	// new assignments to wc can race it.
+	m.markDead(wc)
 	c.close()
+	m.workersMu.Lock()
+	delete(m.workers, wc)
+	m.workersMu.Unlock()
+	m.statsLost.Add(1)
+	m.telemetry().workersLost.Inc()
 	<-done
-	for _, t := range lost {
-		m.requeue(t, wc.name)
+	var lost []*taskMeta
+	for i := range m.d.state {
+		sh := &m.d.state[i]
+		sh.mu.Lock()
+		for _, mt := range sh.tasks {
+			if mt.wc == wc {
+				lost = append(lost, mt)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, mt := range lost {
+		m.requeueMeta(mt, wc.name)
 	}
 }
 
-// requeue returns a lost task to the queue, or fails it permanently when
-// its retry budget is exhausted.
-func (m *Master) requeue(t *Task, worker string) {
-	m.mu.Lock()
-	m.retries[t.ID]++
-	n := m.retries[t.ID]
-	tt := m.traces[t.ID]
+// requeueMeta returns a lost task to the queue, or fails it permanently
+// when its retry budget is exhausted.
+func (m *Master) requeueMeta(mt *taskMeta, worker string) {
+	id := mt.task.ID
+	sh := m.d.stateOf(id)
+	sh.mu.Lock()
+	if sh.tasks[id] != mt || mt.wc == nil {
+		sh.mu.Unlock()
+		return // completed or already requeued since the caller's scan
+	}
+	mt.wc = nil
+	mt.retries++
+	n := mt.retries
+	t := mt.task
+	tt := mt.tt
 	var lostDispatch *trace.Span
 	if tt != nil {
 		lostDispatch, tt.dispatch = tt.dispatch, nil
-		tt.readyAt = m.tracer.Now() // requeue restarts the queue wait
+		tt.readyAt = m.tracer.Load().Now() // requeue restarts the queue wait
 	}
-	if n <= t.MaxRetries && !m.closed {
-		m.statsRequeues++
-		m.ready = append(m.ready, t)
-		m.cond.Broadcast()
-		m.mu.Unlock()
+	if n <= t.MaxRetries && !m.closed.Load() {
+		sh.mu.Unlock()
+		m.running.Add(-1)
 		if lostDispatch != nil {
 			lostDispatch.Attr("lost", worker)
 			lostDispatch.End()
 		}
+		m.statsRequeues.Add(1)
 		m.telemetry().requeues.Inc()
+		m.d.enqueue(mt)
 		return
 	}
-	m.statsDone++
-	m.statsFailed++
-	sub := m.submitT[t.ID]
-	delete(m.traces, t.ID)
-	m.mu.Unlock()
+	delete(sh.tasks, id)
+	sub := mt.submitted
+	sh.mu.Unlock()
+	releaseMeta(mt)
+	m.running.Add(-1)
 	if lostDispatch != nil {
 		lostDispatch.Attr("lost", worker)
 		lostDispatch.End()
@@ -447,76 +516,188 @@ func (m *Master) requeue(t *Task, worker string) {
 		tt.root.AttrInt("requeues", int64(n))
 		tt.root.End()
 	}
+	m.statsDone.Add(1)
+	m.statsFailed.Add(1)
 	m.telemetry().done.Inc()
 	m.telemetry().failed.Inc()
 	m.pushResult(&Result{
-		TaskID:   t.ID,
-		Tag:      t.Tag,
-		Worker:   worker,
-		ExitCode: -1,
-		Error:    fmt.Sprintf("worker lost and %d retries exhausted", t.MaxRetries),
-		Requeues: n,
-		Stats:    TaskStats{Times: TaskTimes{Submitted: sub, Returned: time.Now()}},
+		TaskID:    id,
+		Tag:       t.Tag,
+		Worker:    worker,
+		ExitCode:  -1,
+		Error:     fmt.Sprintf("worker lost and %d retries exhausted", t.MaxRetries),
+		Requeues:  n,
+		Permanent: true,
+		Stats:     TaskStats{Times: TaskTimes{Submitted: sub, Returned: time.Now()}},
 	})
 }
 
-// dispatchLoop sends tasks to wc while it has free slots.
+// dispatchLoop matches ready tasks to wc's free slots: pop a batch sized
+// to the free slots (one task for a v0 peer), stamp the assignments, and
+// ship them in one message. With no ready work it parks on the table's
+// idle condition; with no free slots it waits on the connection's own.
 func (m *Master) dispatchLoop(wc *workerConn) {
 	for {
-		m.mu.Lock()
-		for !m.closed && !wc.dead && (len(m.ready) == 0 || wc.inUse >= wc.cores) {
-			m.cond.Wait()
+		wc.mu.Lock()
+		for wc.inUse >= wc.cores && !wc.dead.Load() && !m.closed.Load() {
+			wc.cond.Wait()
 		}
-		if m.closed || wc.dead {
-			m.mu.Unlock()
+		free := wc.cores - wc.inUse
+		wc.mu.Unlock()
+		if wc.dead.Load() || m.closed.Load() {
 			return
 		}
-		t := m.ready[0]
-		m.ready = m.ready[1:]
-		wc.inUse++
-		m.running[t.ID] = &assignment{task: t, wc: wc}
-		now := time.Now()
-		m.dispT[t.ID] = now
-		m.statsDispatched++
-		sub := m.submitT[t.ID]
-		if tt := m.traces[t.ID]; tt != nil {
+		width := 1
+		if wc.batch {
+			width = min(free, batchMax)
+		}
+		n := m.d.popBatch(wc.home, wc.popBuf[:width])
+		if n == 0 {
+			m.d.park(func() bool { return wc.dead.Load() || m.closed.Load() })
+			continue
+		}
+		batch := wc.popBuf[:n]
+		// Reserve the slots; a connection that died since the free-slot
+		// read returns its pops to the queue and exits.
+		wc.mu.Lock()
+		if wc.dead.Load() {
+			wc.mu.Unlock()
+			for _, mt := range batch {
+				m.d.enqueue(mt)
+			}
+			return
+		}
+		wc.inUse += n
+		wc.mu.Unlock()
+		m.stampBatch(wc, batch)
+		if !m.sendBatch(wc, batch) {
+			return
+		}
+	}
+}
+
+// stampBatch records the assignment of each popped task to wc: owner,
+// dispatch time, and the trace spans for the queue wait and this dispatch
+// attempt. Each task locks only its own state stripe.
+func (m *Master) stampBatch(wc *workerConn, batch []*taskMeta) {
+	now := time.Now()
+	tel := m.telemetry()
+	tr := m.tracer.Load()
+	for _, mt := range batch {
+		id := mt.task.ID
+		sh := m.d.stateOf(id)
+		sh.mu.Lock()
+		mt.wc = wc
+		mt.dispatched = now
+		sub := mt.submitted
+		if tt := mt.tt; tt != nil {
 			// Queue wait since submit (or the last requeue) becomes a
 			// closed "submit" span; the dispatch attempt opens a span
 			// whose context travels with the task so the worker's spans
 			// chain under this specific attempt.
-			tnow := m.tracer.Now()
-			qs := m.tracer.StartAt(tt.readyAt, tt.rootCtx, "master", "submit")
+			tnow := tr.Now()
+			qs := tr.StartAt(tt.readyAt, tt.rootCtx, "master", "submit")
 			qs.EndAt(tnow)
-			d := m.tracer.StartAt(tnow, tt.rootCtx, "master", "dispatch")
+			d := tr.StartAt(tnow, tt.rootCtx, "master", "dispatch")
 			d.Attr("worker", wc.name)
 			tt.dispatch = d
-			t.Trace = d.Context().Encode()
+			mt.task.Trace = d.Context().Encode()
 		}
-		m.mu.Unlock()
-		m.telemetry().dispatches.Inc()
+		sh.mu.Unlock()
+		tel.dispatches.Inc()
 		if !sub.IsZero() {
-			m.telemetry().dispatchWait.Observe(now.Sub(sub).Seconds())
+			tel.dispatchWait.Observe(now.Sub(sub).Seconds())
 		}
-
-		msg := &message{Type: "task", Task: encodeInputs(t, wc.sent)}
-		var sent int64
-		for i := range msg.Task.Inputs {
-			sent += int64(len(msg.Task.Inputs[i].Data))
-		}
-		if err := wc.conn.send(msg); err != nil {
-			// The read loop will notice the dead connection and requeue
-			// everything including this task; just stop dispatching.
-			m.mu.Lock()
-			wc.dead = true
-			m.cond.Broadcast()
-			m.mu.Unlock()
-			return
-		}
-		m.mu.Lock()
-		m.statsBytesOut += sent
-		m.mu.Unlock()
-		m.telemetry().bytesSent.Add(sent)
 	}
+	n := int64(len(batch))
+	m.running.Add(n)
+	m.statsDispatched.Add(n)
+}
+
+// sendBatch encodes the batch into the connection's reusable scratch and
+// ships it: one "tasks" message for a batch peer, a message per task for
+// a v0 peer. Returns false when the connection died; the read loop's
+// cleanup requeues everything the connection held, including this batch.
+func (m *Master) sendBatch(wc *workerConn, batch []*taskMeta) bool {
+	tasks := wc.taskBuf[:0]
+	var sent int64
+	for i, mt := range batch {
+		t := encodeInputsInto(&wc.encScratch[i], mt.task, wc.sent)
+		for j := range t.Inputs {
+			sent += int64(len(t.Inputs[j].Data))
+		}
+		tasks = append(tasks, t)
+	}
+	var err error
+	if wc.batch {
+		wc.msg = message{Type: "tasks", Tasks: tasks}
+		err = wc.conn.send(&wc.msg)
+	} else {
+		for _, t := range tasks {
+			wc.msg = message{Type: "task", Task: t}
+			if err = wc.conn.send(&wc.msg); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		m.markDead(wc)
+		wc.conn.close()
+		return false
+	}
+	m.statsBytesOut.Add(sent)
+	m.telemetry().bytesSent.Add(sent)
+	return true
+}
+
+// completeTask settles one result against the task table. It reports
+// false (and the result must be dropped) when the task is unknown or
+// owned by a different connection — a duplicate, or a task requeued away
+// from a worker presumed lost that answered after all.
+func (m *Master) completeTask(wc *workerConn, r *Result) bool {
+	sh := m.d.stateOf(r.TaskID)
+	sh.mu.Lock()
+	mt := sh.tasks[r.TaskID]
+	if mt == nil || mt.wc != wc {
+		sh.mu.Unlock()
+		return false
+	}
+	delete(sh.tasks, r.TaskID)
+	r.Requeues = mt.retries
+	r.Stats.Times.Submitted = mt.submitted
+	r.Stats.Times.Dispatched = mt.dispatched
+	tt := mt.tt
+	sh.mu.Unlock()
+	releaseMeta(mt)
+	m.running.Add(-1)
+	wc.mu.Lock()
+	wc.inUse--
+	wc.cond.Signal()
+	wc.mu.Unlock()
+	var recv int64
+	for i := range r.Outputs {
+		recv += int64(len(r.Outputs[i].Data))
+	}
+	m.statsBytesIn.Add(recv)
+	m.statsDone.Add(1)
+	failed := r.Failed()
+	if failed {
+		m.statsFailed.Add(1)
+	}
+	tel := m.telemetry()
+	tel.done.Inc()
+	if failed {
+		tel.failed.Inc()
+	}
+	tel.bytesRecv.Add(recv)
+	if tt != nil {
+		tt.dispatch.End()
+		tt.root.AttrInt("exit_code", int64(r.ExitCode))
+		tt.root.AttrInt("requeues", int64(r.Requeues))
+		tt.root.End()
+	}
+	r.Stats.Times.Returned = time.Now()
+	return true
 }
 
 // readLoop consumes results until the connection errors.
@@ -528,51 +709,20 @@ func (m *Master) readLoop(wc *workerConn) {
 		}
 		switch msg.Type {
 		case "result":
-			if msg.Result == nil {
-				continue
+			if msg.Result != nil && m.completeTask(wc, msg.Result) {
+				m.pushResult(msg.Result)
 			}
-			r := msg.Result
-			m.mu.Lock()
-			if _, ok := m.running[r.TaskID]; !ok {
-				// Unknown (already requeued elsewhere or duplicate): drop.
-				m.mu.Unlock()
-				continue
+		case "results":
+			// Settle each result, then publish the accepted ones under a
+			// single result-lock acquisition. The accepted slice reuses
+			// the decoded message's backing array.
+			accepted := msg.Results[:0]
+			for _, r := range msg.Results {
+				if r != nil && m.completeTask(wc, r) {
+					accepted = append(accepted, r)
+				}
 			}
-			delete(m.running, r.TaskID)
-			wc.inUse--
-			m.statsDone++
-			failed := r.Failed()
-			if failed {
-				m.statsFailed++
-			}
-			var recv int64
-			for i := range r.Outputs {
-				recv += int64(len(r.Outputs[i].Data))
-			}
-			m.statsBytesIn += recv
-			r.Requeues = m.retries[r.TaskID]
-			r.Stats.Times.Submitted = m.submitT[r.TaskID]
-			r.Stats.Times.Dispatched = m.dispT[r.TaskID]
-			delete(m.submitT, r.TaskID)
-			delete(m.dispT, r.TaskID)
-			delete(m.retries, r.TaskID)
-			tt := m.traces[r.TaskID]
-			delete(m.traces, r.TaskID)
-			m.cond.Broadcast()
-			m.mu.Unlock()
-			if tt != nil {
-				tt.dispatch.End()
-				tt.root.AttrInt("exit_code", int64(r.ExitCode))
-				tt.root.AttrInt("requeues", int64(r.Requeues))
-				tt.root.End()
-			}
-			m.telemetry().done.Inc()
-			if failed {
-				m.telemetry().failed.Inc()
-			}
-			m.telemetry().bytesRecv.Add(recv)
-			r.Stats.Times.Returned = time.Now()
-			m.pushResult(r)
+			m.pushResults(accepted)
 		case "ping":
 			wc.conn.send(&message{Type: "ping"})
 		}
@@ -580,11 +730,20 @@ func (m *Master) readLoop(wc *workerConn) {
 }
 
 // Drain waits until n results have been collected or the timeout expires,
-// returning the results gathered.
+// returning the results gathered. Results that have already arrived are
+// always returned, even when the deadline passed while earlier results
+// were being collected — the timeout bounds waiting, not sweeping.
 func (m *Master) Drain(n int, timeout time.Duration) []*Result {
 	deadline := time.Now().Add(timeout)
 	out := make([]*Result, 0, n)
+	var sweep [64]*Result
 	for len(out) < n {
+		// Sweep whatever is already pending before consulting the clock.
+		want := min(n-len(out), len(sweep))
+		if k := m.takeResults(sweep[:want]); k > 0 {
+			out = append(out, sweep[:k]...)
+			continue
+		}
 		remaining := time.Until(deadline)
 		if timeout > 0 && remaining <= 0 {
 			break

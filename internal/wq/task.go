@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"time"
 
 	"lobster/internal/trace"
@@ -105,10 +106,19 @@ type Result struct {
 	// Requeues counts how many times the task was re-dispatched after
 	// worker loss before this result.
 	Requeues int `json:"requeues"`
+	// Permanent marks a failure the queue will never retry: the task
+	// exhausted its requeue budget. A poison task — one that kills or
+	// outlives every worker it lands on — surfaces here instead of
+	// cycling through the fleet forever.
+	Permanent bool `json:"permanent,omitempty"`
 }
 
 // Failed reports whether the task did not complete successfully.
 func (r *Result) Failed() bool { return r.ExitCode != 0 || r.Error != "" }
+
+// PermanentlyFailed reports whether the task failed with its retry budget
+// exhausted — the typed signal that resubmitting is pointless.
+func (r *Result) PermanentlyFailed() bool { return r.Permanent && r.Failed() }
 
 // ExecContext is handed to an executor on the worker.
 type ExecContext struct {
@@ -126,6 +136,14 @@ type ExecContext struct {
 	Trace trace.Context
 	// Tracer records executor-internal spans; nil when tracing is off.
 	Tracer *trace.Tracer
+}
+
+// EnsureSandbox creates the sandbox directory on demand. Workers create
+// sandboxes lazily — a task with no declared inputs or outputs never
+// touches the filesystem on the hot path — so an executor that writes
+// scratch files without declaring them must call this first.
+func (c *ExecContext) EnsureSandbox() error {
+	return os.MkdirAll(c.Sandbox, 0o755)
 }
 
 // Executor is the function a task runs on a worker. A non-nil error marks

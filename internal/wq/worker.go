@@ -36,6 +36,16 @@ type Worker struct {
 	closed  atomic.Bool
 	evicted atomic.Bool
 
+	// Result batching: finished tasks queue their results on resCh and a
+	// dedicated loop coalesces them into "results" messages — one wire
+	// round per linger window instead of one per core. batchOK turns true
+	// when the master acks the batch capability; before that (and against
+	// an old master, forever) results go out one message each.
+	resCh   chan *Result
+	done    chan struct{} // closed by run() after in-flight tasks finish
+	batchOK atomic.Bool
+	linger  time.Duration
+
 	tasksRun    atomic.Int64
 	tasksFailed atomic.Int64
 
@@ -121,6 +131,14 @@ type WorkerOptions struct {
 	// reads during staging. The zero Policy keeps the old behaviour:
 	// first error fails the task.
 	StageRetry retry.Policy
+	// DisableBatch pins the connection to the v0 single-message framing
+	// (the worker advertises proto 0). Used by interop tests and as an
+	// escape hatch.
+	DisableBatch bool
+	// ResultLinger bounds how long a finished result may wait for
+	// companions before its batch is flushed. Zero means the default
+	// (200µs); it only applies once the master has acked batch framing.
+	ResultLinger time.Duration
 }
 
 // NewWorker connects a worker to the master at addr. dir is the worker's
@@ -143,6 +161,10 @@ func NewWorkerOpts(addr, name string, cores int, dir string, reg Registry, opts 
 		return nil, fmt.Errorf("wq: worker dialing %s: %w", addr, err)
 	}
 	raw = opts.Fault.Conn("wq_worker", raw)
+	linger := opts.ResultLinger
+	if linger <= 0 {
+		linger = 200 * time.Microsecond
+	}
 	w := &Worker{
 		name:       name,
 		cores:      cores,
@@ -153,13 +175,21 @@ func NewWorkerOpts(addr, name string, cores int, dir string, reg Registry, opts 
 		fault:      opts.Fault,
 		stageRetry: opts.StageRetry,
 		slots:      make(chan struct{}, cores),
+		resCh:      make(chan *Result, cores+batchMax),
+		done:       make(chan struct{}),
+		linger:     linger,
 	}
-	if err := w.conn.send(&message{Type: "hello", Name: name, Cores: cores}); err != nil {
+	proto := protoBatch
+	if opts.DisableBatch {
+		proto = 0
+	}
+	if err := w.conn.send(&message{Type: "hello", Name: name, Cores: cores, Proto: proto}); err != nil {
 		raw.Close()
 		return nil, err
 	}
-	w.wg.Add(1)
+	w.wg.Add(2)
 	go w.run()
+	go w.resultLoop()
 	return w, nil
 }
 
@@ -192,9 +222,12 @@ func (w *Worker) Evict() {
 	w.Close()
 }
 
-// run reads tasks until the connection dies.
+// run reads tasks until the connection dies. The deferred order matters:
+// in-flight tasks finish (and queue their results) before done closes,
+// so the result loop flushes everything before it exits.
 func (w *Worker) run() {
 	defer w.wg.Done()
+	defer close(w.done)
 	var taskWG sync.WaitGroup
 	defer taskWG.Wait()
 	for {
@@ -204,33 +237,120 @@ func (w *Worker) run() {
 		}
 		switch msg.Type {
 		case "task":
-			if msg.Task == nil {
-				continue
+			if msg.Task != nil {
+				w.startTask(msg.Task, &taskWG)
 			}
-			t := msg.Task
-			// Resolve cacheable inputs synchronously, in arrival order: the
-			// master sends each cacheable payload once per connection, so a
-			// later hash-only reference must decode after the data-bearing
-			// task has populated the cache.
-			hits, misses, decodeErr := decodeInputs(t, w.cache)
-			tel := w.telemetry()
-			tel.cacheHits.Add(int64(hits))
-			tel.cacheMiss.Add(int64(misses))
-			taskWG.Add(1)
-			w.slots <- struct{}{}
-			go func() {
-				defer taskWG.Done()
-				defer func() { <-w.slots }()
-				tel.slotsBusy.Add(1)
-				defer tel.slotsBusy.Add(-1)
-				res := w.execute(t, hits, misses, decodeErr)
-				if w.evicted.Load() {
-					return // evicted mid-task: never report
+		case "tasks":
+			// Batch framing: K tasks in one message. Slice order matters —
+			// startTask resolves cacheable inputs as it goes, preserving
+			// the data-before-hash-only invariant within the batch.
+			for _, t := range msg.Tasks {
+				if t != nil {
+					w.startTask(t, &taskWG)
 				}
-				w.conn.send(&message{Type: "result", Result: res})
-			}()
+			}
+		case "hello":
+			// The master's capability ack: batched results are welcome.
+			if msg.Proto >= protoBatch {
+				w.batchOK.Store(true)
+			}
 		case "ping":
 			w.conn.send(&message{Type: "ping"})
+		}
+	}
+}
+
+// startTask resolves a task's inputs and launches it on a free slot,
+// blocking while all cores are busy (the worker's natural backpressure on
+// the receive loop).
+func (w *Worker) startTask(t *Task, taskWG *sync.WaitGroup) {
+	// Resolve cacheable inputs synchronously, in arrival order: the
+	// master sends each cacheable payload once per connection, so a
+	// later hash-only reference must decode after the data-bearing
+	// task has populated the cache.
+	hits, misses, decodeErr := decodeInputs(t, w.cache)
+	tel := w.telemetry()
+	tel.cacheHits.Add(int64(hits))
+	tel.cacheMiss.Add(int64(misses))
+	taskWG.Add(1)
+	w.slots <- struct{}{}
+	go func() {
+		defer taskWG.Done()
+		defer func() { <-w.slots }()
+		tel.slotsBusy.Add(1)
+		defer tel.slotsBusy.Add(-1)
+		res := w.execute(t, hits, misses, decodeErr)
+		if w.evicted.Load() {
+			return // evicted mid-task: never report
+		}
+		w.resCh <- res
+	}()
+}
+
+// resultLoop coalesces finished results into batch messages: the first
+// result opens a linger window; whatever lands within it (or until the
+// batch fills) rides the same message. Against a master that never acked
+// batching, every result is sent individually the moment it arrives.
+func (w *Worker) resultLoop() {
+	defer w.wg.Done()
+	pending := make([]*Result, 0, batchMax)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if !w.evicted.Load() {
+			if w.batchOK.Load() {
+				w.conn.send(&message{Type: "results", Results: pending})
+			} else {
+				for _, r := range pending {
+					w.conn.send(&message{Type: "result", Result: r})
+				}
+			}
+		}
+		for i := range pending {
+			pending[i] = nil
+		}
+		pending = pending[:0]
+	}
+	drainAndExit := func() {
+		for {
+			select {
+			case r := <-w.resCh:
+				pending = append(pending, r)
+				if len(pending) == batchMax {
+					flush()
+				}
+			default:
+				flush()
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case r := <-w.resCh:
+			pending = append(pending, r)
+			if w.batchOK.Load() {
+				linger := time.NewTimer(w.linger)
+			coalesce:
+				for len(pending) < batchMax {
+					select {
+					case r := <-w.resCh:
+						pending = append(pending, r)
+					case <-linger.C:
+						break coalesce
+					case <-w.done:
+						linger.Stop()
+						drainAndExit()
+						return
+					}
+				}
+				linger.Stop()
+			}
+			flush()
+		case <-w.done:
+			drainAndExit()
+			return
 		}
 	}
 }
@@ -282,9 +402,16 @@ func (w *Worker) execute(t *Task, cacheHits, cacheMisses int, decodeErr error) *
 	if decodeErr != nil {
 		return fail(170, "stage-in: %v", decodeErr)
 	}
+	// The sandbox is created lazily: a task that declares no files never
+	// touches the filesystem here — profiling showed sandbox mkdir/rmdir
+	// dominating the per-task syscall budget for file-less tasks.
+	// Executors that write undeclared scratch call ctx.EnsureSandbox.
+	// RemoveAll on a never-created sandbox is one cheap lstat.
 	sandbox := filepath.Join(w.dir, fmt.Sprintf("task-%d", t.ID))
-	if err := os.MkdirAll(sandbox, 0o755); err != nil {
-		return fail(170, "stage-in: creating sandbox: %v", err)
+	if len(t.Inputs) > 0 || len(t.Outputs) > 0 {
+		if err := os.MkdirAll(sandbox, 0o755); err != nil {
+			return fail(170, "stage-in: creating sandbox: %v", err)
+		}
 	}
 	defer os.RemoveAll(sandbox)
 	// Files land in parallel under a bounded group: a multi-input task
