@@ -4,11 +4,11 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane bench-scale
+.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane bench-scale bench-health
 
 all: check
 
-check: vet build test race chaos fuzz bench-scale
+check: vet build test race chaos fuzz bench-scale bench-health
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDispatch -fuzztime $(FUZZTIME) ./internal/chirp/
 	$(GO) test -fuzz FuzzReadEvents -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -fuzz FuzzBatchDispatch -fuzztime $(FUZZTIME) ./internal/wq/
+	$(GO) test -fuzz FuzzPromParse -fuzztime $(FUZZTIME) ./internal/health/
 
 bench:
 	$(GO) test -bench=Fig -benchmem .
@@ -66,3 +67,13 @@ bench-scale:
 # quiet hardware).
 bench-dataplane:
 	$(GO) run ./cmd/bench-guard -dataplane
+
+# Fleet-health guard: holds the hub's 100-endpoint scrape/merge tick and
+# the uninstrumented dispatch path against BENCH_health.json, and the
+# Figure 11 kernel (health hooks compiled in, disabled) against
+# BENCH_kernel.json. The disabled dispatch path is bounded at zero
+# allocations absolutely; wall clock gets the loose shared-host
+# tolerance (enforce the strict 5% kernel-overhead bound on quiet
+# hardware with -time-tolerance 0.05). Part of `make check`.
+bench-health:
+	$(GO) run ./cmd/bench-guard -health

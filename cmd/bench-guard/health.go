@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Fleet-health guard: holds the observability plane to the two costs it
+// promised when it landed, against BENCH_health.json:
+//
+//  1. Scrape/merge cost: one hub tick over a 100-endpoint fleet (parse
+//     every exposition page, stamp, merge, evaluate the default rules)
+//     must not regress beyond -time-tolerance of the pinned samples.
+//     This bounds how far lobster-fleet is from its scrape interval.
+//  2. Disabled-path freedom: the dispatch hot path with no dispatchTel
+//     installed must stay at max_allocs_per_op (zero) — absolute, no
+//     tolerance, allocation counts are deterministic — and its wall
+//     clock must hold within -time-tolerance of the pinned samples.
+//
+// On top of that, the kernel overhead clause: the tracing-disabled
+// Figure 11 simulation benchmark, which now compiles the health plane's
+// instrumentation hooks into every build, must stay within
+// kernel_overhead.max_fraction (5%) of the samples pinned in
+// BENCH_kernel.json — observability that is not scraped must cost
+// nothing measurable. Like every wall-clock bound in these guards, the
+// enforced fraction is widened to -time-tolerance when that is looser:
+// co-tenant load on shared hosts swings absolute minima far past 5%, so
+// `make check` runs at the robust bound and the strict one is enforced
+// on quiet hardware with `-time-tolerance 0.05` (the allocation bound
+// is deterministic and stays absolute either way).
+
+const (
+	healthTickBench     = "BenchmarkFleetTick100"
+	healthDisabledBench = "BenchmarkDispatchDisabledTel"
+)
+
+// healthBaseline is the BENCH_health.json schema.
+type healthBaseline struct {
+	Note     string `json:"note"`
+	Recorded string `json:"recorded"`
+
+	FleetTick struct {
+		Note      string    `json:"note"`
+		Pkg       string    `json:"pkg"`
+		Endpoints float64   `json:"endpoints"`
+		NsOp      []float64 `json:"ns_op"`
+	} `json:"fleet_tick"`
+
+	DispatchDisabled struct {
+		Note           string    `json:"note"`
+		Pkg            string    `json:"pkg"`
+		NsOp           []float64 `json:"ns_op"`
+		MaxAllocsPerOp float64   `json:"max_allocs_per_op"`
+	} `json:"dispatch_disabled"`
+
+	KernelOverhead struct {
+		Note        string  `json:"note"`
+		Baseline    string  `json:"baseline"`
+		MaxFraction float64 `json:"max_fraction"`
+	} `json:"kernel_overhead"`
+}
+
+func runHealth(baselinePath string, timeTol float64, count int, benchtime string, update bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base healthBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if base.FleetTick.Pkg == "" {
+		base.FleetTick.Pkg = "./internal/health/"
+	}
+	if base.DispatchDisabled.Pkg == "" {
+		base.DispatchDisabled.Pkg = "./internal/wq/"
+	}
+
+	// The hub tick runs milliseconds and the dispatch batch microseconds:
+	// a time-based benchtime measures steady state for both, where the
+	// iteration-count default the kernel guard uses would measure warmup.
+	bt := benchtime
+	if bt == "5x" {
+		bt = "1s"
+	}
+	tick, err := healthBench(base.FleetTick.Pkg, healthTickBench, count, bt)
+	if err != nil {
+		return err
+	}
+	disabled, err := healthBench(base.DispatchDisabled.Pkg, healthDisabledBench, count, bt)
+	if err != nil {
+		return err
+	}
+
+	if update {
+		base.FleetTick.NsOp = tick.nsOp
+		base.DispatchDisabled.NsOp = disabled.nsOp
+		enc, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s with fresh samples\n", baselinePath)
+		return nil
+	}
+
+	var failures []string
+	check := func(name string, fresh, pinned []float64) {
+		fb, pb := min(fresh), min(pinned)
+		fmt.Printf("%-30s best %12.0f ns/op vs pinned %12.0f (%+.1f%%), tolerance %.0f%%\n",
+			name, fb, pb, 100*(fb/pb-1), 100*timeTol)
+		if fb > pb*(1+timeTol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: best %.0f ns/op vs pinned %.0f exceeds %.0f%% bound",
+				name, fb, pb, 100*timeTol))
+		}
+	}
+	check(healthTickBench, tick.nsOp, base.FleetTick.NsOp)
+	check(healthDisabledBench, disabled.nsOp, base.DispatchDisabled.NsOp)
+
+	// Disabled-path allocations: deterministic, absolute bound.
+	allocs := min(disabled.allocsOp)
+	fmt.Printf("disabled dispatch path: %.0f allocs/op (bound %.0f)\n",
+		allocs, base.DispatchDisabled.MaxAllocsPerOp)
+	if allocs > base.DispatchDisabled.MaxAllocsPerOp {
+		failures = append(failures, fmt.Sprintf(
+			"uninstrumented dispatch allocates %.0f/op, bound %.0f — a telemetry hook leaked onto the disabled path",
+			allocs, base.DispatchDisabled.MaxAllocsPerOp))
+	}
+
+	// Kernel overhead: the Fig 11 disabled-instrumentation benchmark vs
+	// the samples BENCH_kernel.json pins, run exactly as the default
+	// guard runs it (iteration-count benchtime — the sim is seconds-long).
+	if base.KernelOverhead.Baseline != "" {
+		kernRaw, err := os.ReadFile(base.KernelOverhead.Baseline)
+		if err != nil {
+			return err
+		}
+		kernBase, err := baselineSamples(kernRaw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", base.KernelOverhead.Baseline, err)
+		}
+		// The 5% bound sits close to shared-host jitter, and best-of-N is
+		// only noisy upward: extra repetitions stabilise the minimum
+		// without moving a genuine regression under the bar.
+		kernCount := count
+		if kernCount < 8 {
+			kernCount = 8
+		}
+		fmt.Printf("running %s (health hooks compiled in, disabled), %d×%s...\n",
+			benchName, kernCount, benchtime)
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", "^"+benchName+"$", "-benchtime", benchtime,
+			"-count", strconv.Itoa(kernCount), ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("go test: %w\n%s", err, out)
+		}
+		kernFresh := parseNsOp(string(out))
+		if len(kernFresh) == 0 {
+			return fmt.Errorf("no %s ns/op samples in benchmark output:\n%s", benchName, out)
+		}
+		fb, pb := min(kernFresh), min(kernBase)
+		maxFrac := base.KernelOverhead.MaxFraction
+		if timeTol > maxFrac {
+			maxFrac = timeTol
+		}
+		fmt.Printf("%-30s best %12.0f ns/op vs %s %12.0f (%+.1f%%), bound %.0f%%\n",
+			benchName, fb, base.KernelOverhead.Baseline, pb, 100*(fb/pb-1), 100*maxFrac)
+		if fb > pb*(1+maxFrac) {
+			failures = append(failures, fmt.Sprintf(
+				"health instrumentation overhead: %s best %.0f ns/op vs %s %.0f exceeds %.0f%% bound",
+				benchName, fb, base.KernelOverhead.Baseline, pb, 100*maxFrac))
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("fleet-health regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("ok: fleet health plane within budget")
+	return nil
+}
+
+// healthResult is one benchmark's fresh samples across -count runs.
+type healthResult struct {
+	nsOp     []float64
+	allocsOp []float64
+}
+
+var healthAllocsRe = regexp.MustCompile(`(\d+) allocs/op`)
+
+func healthBench(pkg, name string, count int, benchtime string) (*healthResult, error) {
+	fmt.Printf("running %s -bench %s, %d×%s...\n", pkg, name, count, benchtime)
+	cmd := exec.Command("go", "test", pkg, "-run", "^$",
+		"-bench", "^"+name+"$", "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test %s: %w\n%s", pkg, err, out)
+	}
+	nameRe := regexp.MustCompile(`(?m)^` + name + `\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op.*$`)
+	r := &healthResult{}
+	for _, m := range nameRe.FindAllStringSubmatch(string(out), -1) {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			r.nsOp = append(r.nsOp, v)
+		}
+		if a := healthAllocsRe.FindStringSubmatch(m[0]); a != nil {
+			if v, err := strconv.ParseFloat(a[1], 64); err == nil {
+				r.allocsOp = append(r.allocsOp, v)
+			}
+		}
+	}
+	if len(r.nsOp) == 0 {
+		return nil, fmt.Errorf("no %s ns/op samples in benchmark output:\n%s", name, out)
+	}
+	return r, nil
+}

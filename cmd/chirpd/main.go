@@ -17,6 +17,7 @@ import (
 
 	"lobster/internal/chirp"
 	"lobster/internal/faultinject"
+	"lobster/internal/profiling"
 	"lobster/internal/telemetry"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	root := flag.String("root", "./chirp-export", "directory to export")
 	maxConc := flag.Int("max-concurrent", 16, "concurrently served connections")
 	metrics := flag.String("metrics", "", "serve telemetry (GET /metrics, /status) on this address")
+	pprofOn := flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof for fleet profiling capture")
 	fplan := flag.String("fault-plan", "", "JSON fault plan: inject deterministic faults into served connections")
 	flag.Parse()
 
@@ -55,7 +57,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "chirpd: metrics listener:", err)
 			os.Exit(1)
 		}
-		go http.Serve(lis, reg.Mux())
+		mux := reg.Mux()
+		if *pprofOn {
+			profiling.AttachPprof(mux)
+		}
+		go http.Serve(lis, mux)
 		fmt.Printf("chirpd: telemetry on http://%s/metrics and /status\n", lis.Addr())
 	}
 	fmt.Printf("chirpd: exporting %s on %s (max %d concurrent)\n", fs.Root(), srv.Addr(), *maxConc)

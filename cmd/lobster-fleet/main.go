@@ -1,0 +1,198 @@
+// Command lobster-fleet is the fleet monitoring hub: it scrapes every
+// component's /metrics endpoint, merges the series into cluster-wide
+// aggregates, evaluates the anomaly rule set, appends typed "alert"
+// events to a JSONL event log, and archives pprof bundles from the
+// affected endpoints when a profiling-enabled rule fires.
+//
+// Usage:
+//
+//	lobster-fleet -scrape master=http://127.0.0.1:9099 \
+//	              -scrape chirpd=http://127.0.0.1:9095 \
+//	              -interval 5s -event-log fleet.jsonl -profiles ./profiles \
+//	              -http 127.0.0.1:9100
+//
+//	lobster-fleet -scrape master=http://127.0.0.1:9099 -once   # one tick, print, exit
+//
+// The hub's own address serves /metrics (hub self-telemetry) and /fleet
+// (the merged JSON view `lobster -top -fleet` renders).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"lobster/internal/health"
+	"lobster/internal/monitor"
+	"lobster/internal/tabulate"
+	"lobster/internal/telemetry"
+)
+
+// scrapeFlags accumulates repeated -scrape name=url specs.
+type scrapeFlags []health.Endpoint
+
+func (s *scrapeFlags) String() string { return fmt.Sprintf("%d endpoints", len(*s)) }
+
+func (s *scrapeFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*s = append(*s, health.Endpoint{
+		Name:      name,
+		Component: componentOf(name),
+		Source:    &health.HTTPSource{BaseURL: url},
+	})
+	return nil
+}
+
+// componentOf derives the component label from an instance name:
+// "worker-3" → "worker".
+func componentOf(name string) string {
+	if i := strings.LastIndexAny(name, "-."); i > 0 {
+		digits := true
+		for _, c := range name[i+1:] {
+			if c < '0' || c > '9' {
+				digits = false
+				break
+			}
+		}
+		if digits && i+1 < len(name) {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	var eps scrapeFlags
+	flag.Var(&eps, "scrape", "endpoint to scrape as name=base-url (repeatable; name like worker-3 yields component worker)")
+	var (
+		rulesPath = flag.String("rules", "", "JSON alert rule file (default: built-in detector set)")
+		interval  = flag.Duration("interval", 5*time.Second, "scrape interval")
+		evlog     = flag.String("event-log", "", "append typed alert events to this JSONL file")
+		evlogMax  = flag.Int64("event-log-max", 0, "rotate the event log after this many bytes (0 = never)")
+		profDir   = flag.String("profiles", "", "archive pprof bundles here when a profiling-enabled rule fires")
+		httpAddr  = flag.String("http", "", "serve hub telemetry (/metrics) and the merged fleet view (/fleet) on this address")
+		downAfter = flag.Int("down-after", 2, "consecutive scrape failures before endpoint_down fires")
+		once      = flag.Bool("once", false, "run one scrape cycle, print the fleet view, and exit")
+	)
+	flag.Parse()
+	if err := run(eps, *rulesPath, *interval, *evlog, *evlogMax, *profDir, *httpAddr, *downAfter, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "lobster-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
+	evlogPath string, evlogMax int64, profDir, httpAddr string, downAfter int, once bool) error {
+	if len(eps) == 0 {
+		return fmt.Errorf("no endpoints: pass at least one -scrape name=url")
+	}
+	rules := health.NewRuleSet(health.DefaultRules())
+	if rulesPath != "" {
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return err
+		}
+		rules, err = health.LoadRules(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	reg := telemetry.NewRegistry()
+	var evl *telemetry.EventLog
+	if evlogPath != "" {
+		var err error
+		evl, err = telemetry.OpenEventLogLimit(evlogPath, evlogMax, reg.Now)
+		if err != nil {
+			return err
+		}
+		defer evl.Close()
+	}
+	hub := health.NewHub(health.Config{
+		Endpoints:  eps,
+		Rules:      rules,
+		Interval:   interval,
+		Log:        evl,
+		ProfileDir: profDir,
+		Registry:   reg,
+		DownAfter:  downAfter,
+		OnAlert: func(a monitor.AlertRecord) {
+			fmt.Fprintf(os.Stderr, "alert %-8s %-22s value=%.3g threshold=%.3g %s\n",
+				a.State, a.Rule, a.Value, a.Threshold, a.Help)
+		},
+	})
+
+	if once {
+		hub.Tick()
+		printFleet(hub)
+		return nil
+	}
+
+	if httpAddr != "" {
+		lis, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("hub listener: %w", err)
+		}
+		defer lis.Close()
+		mux := reg.Mux()
+		mux.Handle("/fleet", hub.StatusHandler())
+		go http.Serve(lis, mux)
+		fmt.Printf("fleet hub on http://%s/fleet (hub telemetry on /metrics)\n", lis.Addr())
+	}
+
+	fmt.Printf("scraping %d endpoints every %s, %d rules armed\n",
+		len(eps), interval, len(rules.Rules))
+	stop := make(chan struct{})
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() { <-ch; close(stop) }()
+	hub.Tick() // prime immediately rather than waiting one interval
+	hub.Run(stop)
+
+	printFleet(hub)
+	alerts := hub.Alerts()
+	fmt.Printf("shutting down: %d ticks, %d alert transitions\n", hub.Ticks(), len(alerts))
+	return nil
+}
+
+// printFleet renders the endpoint table and top fleet aggregates.
+func printFleet(hub *health.Hub) {
+	f := hub.Fleet()
+	if f == nil {
+		return
+	}
+	tb := tabulate.NewTable("fleet", "ENDPOINT", "COMPONENT", "STATE", "AGE", "SERIES", "ERROR")
+	for _, e := range f.Endpoints {
+		state, age := "up", fmt.Sprintf("%.1fs", e.AgeSec)
+		if !e.Up {
+			state = "down"
+		}
+		if e.AgeSec < 0 {
+			age = "never"
+		}
+		tb.Row(e.Name, e.Component, state, age, fmt.Sprint(e.Series), e.Err)
+	}
+	fmt.Print(tb.Render())
+	if firing := hub.Firing(); len(firing) > 0 {
+		fmt.Printf("firing: %s\n", strings.Join(firing, ", "))
+	}
+	agg := f.Aggregate()
+	sort.Slice(agg, func(i, j int) bool { return agg[i].Name < agg[j].Name })
+	at := tabulate.NewTable("aggregates", "SERIES", "TOTAL", "MAX", "N")
+	for _, a := range agg {
+		if !strings.HasPrefix(a.Name, "lobster_") {
+			continue
+		}
+		at.Row(a.Name, fmt.Sprintf("%.6g", a.Total), fmt.Sprintf("%.6g", a.Max), fmt.Sprint(a.N))
+	}
+	fmt.Print(at.Render())
+}

@@ -28,6 +28,7 @@ import (
 	"lobster/internal/deploy"
 	"lobster/internal/faultinject"
 	"lobster/internal/monitor"
+	"lobster/internal/profiling"
 	"lobster/internal/retry"
 	"lobster/internal/store"
 	"lobster/internal/tabulate"
@@ -51,6 +52,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "synthetic content seed")
 		confPath = flag.String("config", "", "JSON workflow configuration file (overrides the workflow flags)")
 		httpAddr = flag.String("http", "", "serve live telemetry (GET /metrics, /status) on this address")
+		pprofOn  = flag.Bool("pprof", false, "with -http: also serve /debug/pprof (goroutine, heap, CPU) for fleet profiling capture")
 		evlog    = flag.String("event-log", "", "append structured JSONL task events to this file")
 		evlogMax = flag.Int64("event-log-max", 0, "rotate the event log after this many bytes (0 = never)")
 		trlog    = flag.String("trace-log", "", "enable distributed tracing; append trace spans to this JSONL file (analyze with lobster-trace)")
@@ -59,18 +61,19 @@ func main() {
 		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0 = use the plan's)")
 		topURL   = flag.String("top", "", "print the status of the lobster at this base URL and exit")
 		watch    = flag.Bool("watch", false, "with -top: refresh continuously instead of one-shot")
+		fleet    = flag.Bool("fleet", false, "with -top: the URL is a lobster-fleet hub; render the merged multi-endpoint view")
 		interval = flag.Duration("interval", 2*time.Second, "with -top -watch: refresh interval")
 	)
 	flag.Parse()
 	if *topURL != "" {
-		if err := top(*topURL, *watch, *interval); err != nil {
+		if err := top(*topURL, *watch, *fleet, *interval); err != nil {
 			fmt.Fprintln(os.Stderr, "lobster:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if err := run(*kind, *files, *lumis, *events, *workers, *cores, *taskSize,
-		*access, *merge, *mergeMB, *dbdir, *seed, *confPath, *httpAddr,
+		*access, *merge, *mergeMB, *dbdir, *seed, *confPath, *httpAddr, *pprofOn,
 		*evlog, *evlogMax, *trlog, *trRate, *fplan, *fseed); err != nil {
 		fmt.Fprintln(os.Stderr, "lobster:", err)
 		os.Exit(1)
@@ -79,7 +82,7 @@ func main() {
 
 func run(kind string, files, lumis, events, workers, cores, taskSize int,
 	access, merge string, mergeKB float64, dbdir string, seed uint64,
-	confPath, httpAddr, evlogPath string, evlogMax int64, trlogPath string, trRate float64,
+	confPath, httpAddr string, pprofOn bool, evlogPath string, evlogMax int64, trlogPath string, trRate float64,
 	faultPlanPath string, faultSeed uint64) error {
 	var cfg core.Config
 	if confPath != "" {
@@ -125,7 +128,11 @@ func run(kind string, files, lumis, events, workers, cores, taskSize int,
 			return fmt.Errorf("telemetry listener: %w", err)
 		}
 		defer lis.Close()
-		go http.Serve(lis, reg.Mux())
+		mux := reg.Mux()
+		if pprofOn {
+			profiling.AttachPprof(mux)
+		}
+		go http.Serve(lis, mux)
 		fmt.Printf("telemetry on http://%s/metrics and /status\n", lis.Addr())
 	}
 

@@ -17,24 +17,38 @@ import (
 // prints a dashboard: build/uptime/sampling header, the per-segment
 // runtime breakdown derived from the stage histograms (the live view of
 // the Figure 8 accounting), and every telemetry series. With watch it
-// redraws every interval until interrupted, htop-style.
-func top(baseURL string, watch bool, interval time.Duration) error {
-	url := strings.TrimRight(baseURL, "/") + "/status"
+// redraws every interval until interrupted, htop-style; a failed scrape
+// keeps the last good data on screen under an explicit error banner with
+// the data's age, rather than silently showing stale numbers or dying.
+// With fleet it reads a lobster-fleet hub's /fleet endpoint instead and
+// renders the merged multi-endpoint view.
+func top(baseURL string, watch, fleet bool, interval time.Duration) error {
 	client := &http.Client{Timeout: 5 * time.Second}
+	if fleet {
+		return topFleet(client, baseURL, watch, interval)
+	}
+	url := strings.TrimRight(baseURL, "/") + "/status"
+	var last *telemetry.Status
+	var lastOK time.Time
 	for {
 		st, err := fetchStatus(client, url)
-		if err != nil {
-			return err
+		if err == nil {
+			last, lastOK = st, time.Now()
 		}
-		out := renderStatus(st)
-		if watch {
-			// Home the cursor and clear below rather than clearing the
-			// whole screen: no flicker between refreshes.
-			fmt.Print("\033[H\033[J")
-		}
-		fmt.Print(out)
 		if !watch {
+			if err != nil {
+				return err
+			}
+			fmt.Print(renderStatus(last, 0, nil))
 			return nil
+		}
+		// Home the cursor and clear below rather than clearing the
+		// whole screen: no flicker between refreshes.
+		fmt.Print("\033[H\033[J")
+		if last == nil {
+			fmt.Printf("lobster top: no successful scrape yet: %v\n", err)
+		} else {
+			fmt.Print(renderStatus(last, time.Since(lastOK), err))
 		}
 		time.Sleep(interval)
 	}
@@ -56,8 +70,14 @@ func fetchStatus(client *http.Client, url string) (*telemetry.Status, error) {
 	return &st, nil
 }
 
-func renderStatus(st *telemetry.Status) string {
+// renderStatus renders one status page. age is how long ago the data was
+// scraped (0 = fresh this cycle); scrapeErr, when non-nil, is the error
+// that kept this cycle from refreshing it.
+func renderStatus(st *telemetry.Status, age time.Duration, scrapeErr error) string {
 	var b strings.Builder
+	if scrapeErr != nil {
+		fmt.Fprintf(&b, "!! SCRAPE FAILED: %v\n!! showing data %.1fs old\n", scrapeErr, age.Seconds())
+	}
 	fmt.Fprintf(&b, "lobster status at t=%.1fs  up %s", st.Time, tabulate.Duration(st.UptimeSec))
 	if st.Go != "" {
 		fmt.Fprintf(&b, "  %s", st.Go)
@@ -104,6 +124,147 @@ func renderStatus(st *telemetry.Status) string {
 	}
 	b.WriteString(tb.Render())
 	b.WriteByte('\n')
+	return b.String()
+}
+
+// fleetView mirrors the JSON document lobster-fleet serves on /fleet.
+type fleetView struct {
+	Time      float64 `json:"t"`
+	Ticks     int64   `json:"ticks"`
+	Endpoints []struct {
+		Name      string  `json:"name"`
+		Component string  `json:"component"`
+		Up        bool    `json:"up"`
+		Err       string  `json:"err"`
+		AgeSec    float64 `json:"age_sec"`
+		Series    int     `json:"series"`
+		Fails     int     `json:"fails"`
+	} `json:"endpoints"`
+	Firing []string `json:"firing"`
+	Alerts []struct {
+		Time     float64 `json:"t"`
+		Rule     string  `json:"rule"`
+		Severity string  `json:"severity"`
+		State    string  `json:"state"`
+		Value    float64 `json:"value"`
+	} `json:"alerts"`
+	Series []struct {
+		Name         string
+		Total        float64
+		Max          float64
+		N            int
+		PerComponent map[string]float64
+	} `json:"series"`
+}
+
+// topFleet polls a lobster-fleet hub's /fleet endpoint and renders the
+// merged cluster view: per-endpoint scrape health with an age column,
+// firing rules, the recent alert tail, and the fleet aggregates broken
+// down per component.
+func topFleet(client *http.Client, baseURL string, watch bool, interval time.Duration) error {
+	url := strings.TrimRight(baseURL, "/") + "/fleet"
+	var last *fleetView
+	var lastOK time.Time
+	for {
+		v, err := fetchFleet(client, url)
+		if err == nil {
+			last, lastOK = v, time.Now()
+		}
+		if !watch {
+			if err != nil {
+				return err
+			}
+			fmt.Print(renderFleet(last, 0, nil))
+			return nil
+		}
+		fmt.Print("\033[H\033[J")
+		if last == nil {
+			fmt.Printf("lobster top: no successful hub scrape yet: %v\n", err)
+		} else {
+			fmt.Print(renderFleet(last, time.Since(lastOK), err))
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchFleet(client *http.Client, url string) (*fleetView, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var v fleetView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &v, nil
+}
+
+func renderFleet(v *fleetView, age time.Duration, scrapeErr error) string {
+	var b strings.Builder
+	if scrapeErr != nil {
+		fmt.Fprintf(&b, "!! HUB SCRAPE FAILED: %v\n!! showing data %.1fs old\n", scrapeErr, age.Seconds())
+	}
+	fmt.Fprintf(&b, "fleet at t=%.1fs  tick %d  %d endpoints\n", v.Time, v.Ticks, len(v.Endpoints))
+
+	tb := tabulate.NewTable("Endpoints", "endpoint", "component", "state", "age", "series", "error")
+	for _, e := range v.Endpoints {
+		state := "up"
+		if !e.Up {
+			state = fmt.Sprintf("DOWN(%d)", e.Fails)
+		}
+		ageCol := fmt.Sprintf("%.1fs", e.AgeSec)
+		if e.AgeSec < 0 {
+			ageCol = "never"
+		}
+		tb.Row(e.Name, e.Component, state, ageCol, fmt.Sprint(e.Series), e.Err)
+	}
+	b.WriteString(tb.Render())
+
+	if len(v.Firing) > 0 {
+		fmt.Fprintf(&b, "\nFIRING: %s\n", strings.Join(v.Firing, ", "))
+	}
+	if len(v.Alerts) > 0 {
+		at := tabulate.NewTable("Recent alerts", "t", "rule", "severity", "state", "value")
+		for _, a := range v.Alerts {
+			at.Row(fmt.Sprintf("%.1f", a.Time), a.Rule, a.Severity, a.State, fmt.Sprintf("%.4g", a.Value))
+		}
+		b.WriteByte('\n')
+		b.WriteString(at.Render())
+	}
+	if len(v.Series) > 0 {
+		// Column per component, stable order.
+		comps := map[string]bool{}
+		for _, s := range v.Series {
+			for c := range s.PerComponent {
+				comps[c] = true
+			}
+		}
+		order := make([]string, 0, len(comps))
+		for c := range comps {
+			order = append(order, c)
+		}
+		sort.Strings(order)
+		headers := append([]string{"series", "total", "max"}, order...)
+		cells := make([]any, 0, len(headers))
+		st := tabulate.NewTable("Fleet aggregates", headers...)
+		for _, s := range v.Series {
+			if !strings.HasPrefix(s.Name, "lobster_") {
+				continue
+			}
+			cells = cells[:0]
+			cells = append(cells, s.Name, fmt.Sprintf("%.6g", s.Total), fmt.Sprintf("%.6g", s.Max))
+			for _, c := range order {
+				cells = append(cells, fmt.Sprintf("%.6g", s.PerComponent[c]))
+			}
+			st.Row(cells...)
+		}
+		b.WriteByte('\n')
+		b.WriteString(st.Render())
+	}
 	return b.String()
 }
 

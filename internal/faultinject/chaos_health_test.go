@@ -1,0 +1,169 @@
+package faultinject_test
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lobster/internal/core"
+	"lobster/internal/deploy"
+	"lobster/internal/faultinject"
+	"lobster/internal/health"
+	"lobster/internal/monitor"
+	"lobster/internal/profiling"
+	"lobster/internal/telemetry"
+)
+
+// TestChaosFleetHealth runs a worker-kill storm with the fleet health hub
+// scraping the stack's live /metrics endpoint, and asserts the full
+// observability loop closes: the storm's worker losses trip an alert rule, the
+// alert lands as a typed event on the JSONL log where monitor.ReplayLog
+// recovers it, and the firing transition archives a pprof bundle captured
+// from the stressed process.
+func TestChaosFleetHealth(t *testing.T) {
+	inj := faultinject.New(&faultinject.Plan{
+		Seed: 1,
+		Rules: []faultinject.Rule{
+			{Component: "wq_worker", Op: "read", Action: faultinject.ActDrop, After: 3, Times: 2},
+		},
+	})
+	reg := telemetry.NewRegistry()
+	st, err := deploy.Start(deploy.Options{
+		Files: 3, LumisPerFile: 2, EventsPerFile: 6,
+		Workers: 3, CoresPerWorker: 2,
+		ScratchDir: t.TempDir(),
+		Seed:       11,
+		Telemetry:  reg,
+		Fault:      inj,
+		Retry:      chaosPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// The stack's telemetry served the way a real deployment serves it,
+	// pprof attached as `lobster -http addr -pprof` would.
+	mux := reg.Mux()
+	profiling.AttachPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	logPath := filepath.Join(t.TempDir(), "fleet-events.jsonl")
+	evl, err := telemetry.OpenEventLog(logPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profDir := filepath.Join(t.TempDir(), "profiles")
+	// The storm detector: any lost worker connection is the paper's
+	// eviction signature (the counter is cumulative, so the final
+	// post-run tick observes it even when the storm outruns the scrape
+	// interval). Profile on fire.
+	rules := health.NewRuleSet([]health.Rule{{
+		Name:     "worker_loss_storm",
+		Help:     "worker connections dropped mid-run",
+		Severity: "critical",
+		Expr:     health.Expr{Metric: "lobster_wq_workers_lost_total"},
+		Profile:  true,
+	}})
+	hub := health.NewHub(health.Config{
+		Endpoints:  []health.Endpoint{{Name: "master", Component: "master", Source: &health.HTTPSource{BaseURL: srv.URL}}},
+		Rules:      rules,
+		Log:        evl,
+		ProfileDir: profDir,
+	})
+
+	cfg := core.Config{
+		Name: "fleethealth", Kind: core.KindAnalysis, Dataset: st.Dataset.Name,
+		EventSize: st.EventSize(), TaskletsPerTask: 2, MergeMode: core.MergeNone,
+	}
+	l, err := core.New(cfg, st.Services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetResultTimeout(time.Minute)
+
+	done := make(chan error, 1)
+	var rep *core.RunReport
+	go func() {
+		var runErr error
+		rep, runErr = l.Run()
+		done <- runErr
+	}()
+	// Scrape continuously while the storm plays out, then take one final
+	// tick so the post-run counter state is observed.
+	scraping := true
+	for scraping {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run under storm: %v", err)
+			}
+			scraping = false
+		case <-time.After(10 * time.Millisecond):
+			hub.Tick()
+		}
+	}
+	hub.Tick()
+	if err := evl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !rep.Succeeded() {
+		t.Fatalf("workflow failed under storm: %+v", rep)
+	}
+	if inj.TotalFired() == 0 {
+		t.Fatal("storm never fired")
+	}
+
+	// The alert fired and carries its profile bundle.
+	alerts := hub.Alerts()
+	var firing *monitor.AlertRecord
+	for i := range alerts {
+		if alerts[i].Rule == "worker_loss_storm" && alerts[i].Firing() {
+			firing = &alerts[i]
+			break
+		}
+	}
+	if firing == nil {
+		t.Fatalf("worker_loss_storm never fired; alerts = %+v, stats = %+v", alerts, st.Services.Master.Stats())
+	}
+	if firing.Profile == "" {
+		t.Fatal("firing alert captured no profile bundle")
+	}
+	gr, err := os.ReadFile(filepath.Join(firing.Profile, "master-goroutine.txt"))
+	if err != nil {
+		t.Fatalf("profile bundle incomplete: %v", err)
+	}
+	if !strings.Contains(string(gr), "goroutine") {
+		t.Error("goroutine capture is not a pprof document")
+	}
+	if _, err := os.Stat(filepath.Join(firing.Profile, "alert.json")); err != nil {
+		t.Errorf("bundle manifest missing: %v", err)
+	}
+
+	// The typed alert replays off the event log exactly as the monitor
+	// recovery path reads it.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var m monitor.Monitor
+	if _, err := m.ReplayLog(f); err != nil {
+		t.Fatal(err)
+	}
+	replayed := m.Alerts()
+	found := false
+	for _, a := range replayed {
+		if a.Rule == "worker_loss_storm" && a.Firing() && a.Profile == firing.Profile {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("replayed log missing the firing alert: %+v", replayed)
+	}
+}

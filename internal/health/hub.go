@@ -1,0 +1,402 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lobster/internal/monitor"
+	"lobster/internal/telemetry"
+)
+
+// Config wires a Hub.
+type Config struct {
+	// Endpoints is the fleet to scrape.
+	Endpoints []Endpoint
+
+	// Rules is the detector set; nil means NewRuleSet(DefaultRules()).
+	Rules *RuleSet
+
+	// Interval is the Run loop's scrape period (default 5s). Tick is
+	// callable directly regardless — the sim plane drives it from
+	// simulated time and never calls Run.
+	Interval time.Duration
+
+	// Clock stamps fleet views and alerts; nil means wall time.
+	Clock telemetry.Clock
+
+	// Log receives typed "alert" (and "profile_bundle") events; may be
+	// nil.
+	Log *telemetry.EventLog
+
+	// ProfileDir, when set, is where pprof bundles are archived when a
+	// profiling-enabled rule fires.
+	ProfileDir string
+
+	// OnAlert observes every alert record as it is emitted; may be nil.
+	OnAlert func(monitor.AlertRecord)
+
+	// Registry receives the hub's own telemetry; may be nil.
+	Registry *telemetry.Registry
+
+	// DownAfter is how many consecutive scrape failures mark an endpoint
+	// down (default 2).
+	DownAfter int
+}
+
+// Hub is the fleet monitoring loop: scrape, merge, evaluate, alert.
+type Hub struct {
+	cfg   Config
+	rules *RuleSet
+	clock telemetry.Clock
+
+	mu     sync.Mutex
+	eps    []endpointScrape
+	fleet  *Fleet
+	alerts []monitor.AlertRecord
+	seq    int
+	ticks  int64
+
+	scrapes   *telemetry.Counter
+	scrapeErr *telemetry.Counter
+	alertsCtr *telemetry.Counter
+	upGauge   *telemetry.Gauge
+	seriesG   *telemetry.Gauge
+	firingG   *telemetry.Gauge
+}
+
+// NewHub builds a hub from cfg.
+func NewHub(cfg Config) *Hub {
+	h := &Hub{cfg: cfg, rules: cfg.Rules, clock: cfg.Clock}
+	if h.rules == nil {
+		h.rules = NewRuleSet(DefaultRules())
+	}
+	if h.clock == nil {
+		h.clock = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	}
+	if h.cfg.DownAfter <= 0 {
+		h.cfg.DownAfter = 2
+	}
+	h.eps = make([]endpointScrape, len(cfg.Endpoints))
+	for i, ep := range cfg.Endpoints {
+		h.eps[i] = endpointScrape{ep: ep}
+	}
+	if reg := cfg.Registry; reg != nil {
+		h.scrapes = reg.Counter("lobster_fleet_scrapes_total",
+			"Endpoint scrapes attempted by the fleet hub.")
+		h.scrapeErr = reg.Counter("lobster_fleet_scrape_errors_total",
+			"Endpoint scrapes that failed.")
+		h.alertsCtr = reg.Counter("lobster_fleet_alerts_total",
+			"Alert state transitions emitted (firing and resolved).")
+		h.upGauge = reg.Gauge("lobster_fleet_endpoints_up",
+			"Endpoints whose latest scrape succeeded.")
+		h.seriesG = reg.Gauge("lobster_fleet_series_merged",
+			"Series in the latest merged fleet view.")
+		h.firingG = reg.Gauge("lobster_fleet_rules_firing",
+			"Rules currently in the firing state.")
+	}
+	return h
+}
+
+// scrapeConcurrency bounds parallel endpoint scrapes per tick.
+const scrapeConcurrency = 16
+
+// Tick runs one scrape-merge-evaluate cycle at the hub clock's current
+// time and returns the alerts it emitted (state transitions only).
+func (h *Hub) Tick() []monitor.AlertRecord {
+	now := h.clock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ticks++
+
+	// Scrape the fleet in parallel; each endpoint touches only its own
+	// slot.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, scrapeConcurrency)
+	for i := range h.eps {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(e *endpointScrape) {
+			defer func() { <-sem; wg.Done() }()
+			series, err := e.ep.Source.Scrape()
+			if err != nil {
+				e.fails++
+				e.lastErr = err.Error()
+				return
+			}
+			e.fails = 0
+			e.lastErr = ""
+			e.lastOK = now
+			e.hasOK = true
+			e.stamp(series)
+		}(&h.eps[i])
+	}
+	wg.Wait()
+	h.scrapes.Add(int64(len(h.eps)))
+
+	// Merge. Failed endpoints keep contributing their last-good series
+	// (marked stale via AgeSec) so one dropped scrape doesn't zero the
+	// fleet aggregates and fake a rate collapse.
+	f := &Fleet{Time: now, Endpoints: make([]EndpointState, len(h.eps))}
+	total := 0
+	for i := range h.eps {
+		total += len(h.eps[i].series)
+	}
+	f.Series = make([]Series, 0, total)
+	errs := 0
+	for i := range h.eps {
+		e := &h.eps[i]
+		age := -1.0
+		if e.hasOK {
+			age = now - e.lastOK
+		}
+		if e.fails > 0 {
+			errs++
+		}
+		f.Endpoints[i] = EndpointState{
+			Name:      e.ep.Name,
+			Component: e.ep.Component,
+			Up:        e.fails == 0 && e.hasOK,
+			Err:       e.lastErr,
+			AgeSec:    age,
+			Series:    len(e.series),
+			Fails:     e.fails,
+		}
+		f.Series = append(f.Series, e.series...)
+	}
+	f.index()
+	h.fleet = f
+	h.scrapeErr.Add(int64(errs))
+	h.upGauge.Set(float64(f.Up()))
+	h.seriesG.Set(float64(len(f.Series)))
+
+	// Built-in endpoint-down detection, then the declarative rules.
+	var emitted []monitor.AlertRecord
+	for i := range f.Endpoints {
+		e := &h.eps[i]
+		es := &f.Endpoints[i]
+		if e.fails >= h.cfg.DownAfter && !e.downFiring {
+			e.downFiring = true
+			emitted = append(emitted, monitor.AlertRecord{
+				Time: now, Rule: "endpoint_down", Severity: "critical",
+				State: "firing", Value: float64(e.fails), Threshold: float64(h.cfg.DownAfter),
+				Help: fmt.Sprintf("endpoint %s (%s) unreachable: %s", es.Name, es.Component, es.Err),
+			})
+		}
+		if e.fails == 0 && e.downFiring {
+			e.downFiring = false
+			emitted = append(emitted, monitor.AlertRecord{
+				Time: now, Rule: "endpoint_down", Severity: "critical",
+				State: "resolved",
+				Help:  fmt.Sprintf("endpoint %s (%s) reachable again", es.Name, es.Component),
+			})
+		}
+	}
+	for _, tr := range h.rules.Evaluate(f, now) {
+		a := monitor.AlertRecord{
+			Time: now, Rule: tr.Rule.Name, Severity: tr.Rule.Severity,
+			Value: tr.Value, Threshold: tr.Threshold, Help: tr.Rule.Help,
+		}
+		if tr.Firing {
+			a.State = "firing"
+			if tr.Rule.Profile && h.cfg.ProfileDir != "" {
+				a.Profile = h.captureProfiles(tr.Rule.Name, now, a)
+			}
+		} else {
+			a.State = "resolved"
+		}
+		emitted = append(emitted, a)
+	}
+	h.firingG.Set(float64(len(h.rules.Firing())))
+
+	for _, a := range emitted {
+		h.alerts = append(h.alerts, a)
+		h.alertsCtr.Add(1)
+		h.cfg.Log.Emit("alert", a)
+		if h.cfg.OnAlert != nil {
+			h.cfg.OnAlert(a)
+		}
+	}
+	return emitted
+}
+
+// Run ticks on the configured interval until stop closes. The final
+// flush of the event log stays the caller's responsibility.
+func (h *Hub) Run(stop <-chan struct{}) {
+	interval := h.cfg.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			h.Tick()
+		}
+	}
+}
+
+// Fleet returns the latest merged view (nil before the first tick).
+func (h *Hub) Fleet() *Fleet {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fleet
+}
+
+// Alerts returns a copy of every alert emitted so far.
+func (h *Hub) Alerts() []monitor.AlertRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]monitor.AlertRecord, len(h.alerts))
+	copy(out, h.alerts)
+	return out
+}
+
+// Firing returns the names of rules currently firing.
+func (h *Hub) Firing() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rules.Firing()
+}
+
+// Ticks returns how many scrape cycles have run.
+func (h *Hub) Ticks() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ticks
+}
+
+// profilePaths are the pprof documents captured per endpoint on anomaly.
+var profilePaths = []struct{ path, file string }{
+	{"/debug/pprof/goroutine?debug=1", "goroutine.txt"},
+	{"/debug/pprof/heap?debug=0", "heap.pb.gz"},
+}
+
+// captureProfiles archives a pprof bundle from every HTTP endpoint into
+// ProfileDir/<seq>-<rule>/ and returns the bundle directory (or "" when
+// nothing was captured). Best-effort: unreachable endpoints are recorded
+// in the manifest and skipped.
+func (h *Hub) captureProfiles(rule string, now float64, a monitor.AlertRecord) string {
+	h.seq++
+	dir := filepath.Join(h.cfg.ProfileDir, fmt.Sprintf("%06d-%s", h.seq, rule))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	type captured struct {
+		Instance string   `json:"instance"`
+		Files    []string `json:"files,omitempty"`
+		Err      string   `json:"err,omitempty"`
+	}
+	manifest := struct {
+		Time      float64             `json:"t"`
+		Rule      string              `json:"rule"`
+		Alert     monitor.AlertRecord `json:"alert"`
+		Endpoints []captured          `json:"endpoints"`
+	}{Time: now, Rule: rule}
+	a.Profile = "" // manifest stores the alert sans self-reference
+	manifest.Alert = a
+	nFiles := 0
+	for i := range h.eps {
+		src, ok := h.eps[i].ep.Source.(*HTTPSource)
+		if !ok {
+			continue
+		}
+		c := captured{Instance: h.eps[i].ep.Name}
+		base := strings.TrimRight(src.BaseURL, "/")
+		for _, p := range profilePaths {
+			name := h.eps[i].ep.Name + "-" + p.file
+			if err := fetchToFile(src.client(), base+p.path, filepath.Join(dir, name)); err != nil {
+				c.Err = err.Error()
+				continue
+			}
+			c.Files = append(c.Files, name)
+			nFiles++
+		}
+		manifest.Endpoints = append(manifest.Endpoints, c)
+	}
+	raw, err := json.MarshalIndent(&manifest, "", "  ")
+	if err == nil {
+		os.WriteFile(filepath.Join(dir, "alert.json"), append(raw, '\n'), 0o644)
+	}
+	h.cfg.Log.Emit("profile_bundle", map[string]any{
+		"rule": rule, "dir": dir, "files": nFiles,
+	})
+	return dir
+}
+
+// fetchToFile GETs url into path, failing on non-200.
+func fetchToFile(client *http.Client, url, path string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, io.LimitReader(resp.Body, 64<<20)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// statusView is the JSON document the hub's /fleet endpoint serves.
+type statusView struct {
+	Time      float64               `json:"t"`
+	Ticks     int64                 `json:"ticks"`
+	Endpoints []EndpointState       `json:"endpoints"`
+	Firing    []string              `json:"firing,omitempty"`
+	Alerts    []monitor.AlertRecord `json:"alerts,omitempty"`
+	Series    []FleetSeries         `json:"series,omitempty"`
+}
+
+// StatusHandler serves the hub's merged view as JSON: endpoint scrape
+// health, currently-firing rules, recent alerts, and the cluster-wide
+// aggregates. `?alerts=N` bounds the alert tail (default 20);
+// `?series=0` drops the aggregate dump for cheap polling.
+func (h *Hub) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		v := statusView{Ticks: h.ticks, Firing: h.rules.Firing()}
+		if h.fleet != nil {
+			v.Time = h.fleet.Time
+			v.Endpoints = h.fleet.Endpoints
+			if r.URL.Query().Get("series") != "0" {
+				v.Series = h.fleet.Aggregate()
+			}
+		}
+		tail := 20
+		if q := r.URL.Query().Get("alerts"); q != "" {
+			fmt.Sscanf(q, "%d", &tail)
+		}
+		if n := len(h.alerts); tail > 0 && n > 0 {
+			if tail > n {
+				tail = n
+			}
+			v.Alerts = append([]monitor.AlertRecord(nil), h.alerts[n-tail:]...)
+		}
+		h.mu.Unlock()
+		sort.Slice(v.Series, func(i, j int) bool { return v.Series[i].Name < v.Series[j].Name })
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(&v)
+	})
+}

@@ -1,0 +1,127 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"lobster/internal/telemetry"
+)
+
+// Source produces one endpoint's series at scrape time. The hub stamps
+// component/instance labels onto whatever the source returns.
+type Source interface {
+	Scrape() ([]Series, error)
+}
+
+// Endpoint is one scraped component of the fleet.
+type Endpoint struct {
+	Name      string // instance label, unique within the fleet ("worker-3")
+	Component string // component label ("master", "worker", "chirpd", "squid")
+	Source    Source
+}
+
+// HTTPSource scrapes a live process's GET /metrics (the plane every
+// daemon serves via telemetry.Registry.Mux) and parses the Prometheus
+// text. BaseURL also roots the /debug/pprof endpoints the hub captures
+// profiles from when a rule fires.
+type HTTPSource struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+func (s *HTTPSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return defaultClient
+}
+
+var defaultClient = &http.Client{Timeout: 5 * time.Second}
+
+// Scrape fetches and parses /metrics.
+func (s *HTTPSource) Scrape() ([]Series, error) {
+	url := strings.TrimRight(s.BaseURL, "/") + "/metrics"
+	resp, err := s.client().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	page, err := ParseMetrics(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return page.Series(), nil
+}
+
+// RegistrySource scrapes an in-process registry directly — the path the
+// simulation plane uses, where there is no HTTP listener and time is
+// simulated. The series shape matches what an HTTP scrape of the same
+// registry would parse: histograms flatten to name_sum and name_count.
+type RegistrySource struct {
+	Reg *telemetry.Registry
+}
+
+// Scrape snapshots the registry.
+func (s *RegistrySource) Scrape() ([]Series, error) {
+	if s.Reg == nil {
+		return nil, fmt.Errorf("health: registry source has no registry")
+	}
+	st := s.Reg.Snapshot()
+	out := make([]Series, 0, len(st.Series)+8)
+	for _, p := range st.Series {
+		switch p.Type {
+		case "histogram":
+			out = append(out,
+				Series{Name: p.Name + "_sum", Labels: p.Labels, Value: p.Value, Type: p.Type},
+				Series{Name: p.Name + "_count", Labels: p.Labels, Value: float64(p.Count), Type: p.Type})
+		default:
+			out = append(out, Series{Name: p.Name, Labels: p.Labels, Value: p.Value, Type: p.Type})
+		}
+	}
+	return out, nil
+}
+
+// StaticSource replays a fixed exposition payload — benchmarks and tests
+// use it to model a fleet without sockets.
+type StaticSource struct {
+	Text []byte
+}
+
+// Scrape parses the payload.
+func (s *StaticSource) Scrape() ([]Series, error) {
+	page, err := ParseMetrics(strings.NewReader(string(s.Text)))
+	if err != nil {
+		return nil, err
+	}
+	return page.Series(), nil
+}
+
+// endpointScrape is one endpoint's scrape state inside the hub.
+type endpointScrape struct {
+	ep         Endpoint
+	lastOK     float64 // hub-clock time of the last successful scrape
+	hasOK      bool
+	fails      int // consecutive failures
+	lastErr    string
+	series     []Series // last successful payload, component/instance stamped
+	downFiring bool     // built-in endpoint_down alert state
+}
+
+// stamp attaches the component/instance labels to a fresh scrape.
+func (e *endpointScrape) stamp(series []Series) {
+	for i := range series {
+		if series[i].Labels == nil {
+			series[i].Labels = make(map[string]string, 2)
+		}
+		series[i].Labels["component"] = e.ep.Component
+		series[i].Labels["instance"] = e.ep.Name
+	}
+	e.series = series
+}

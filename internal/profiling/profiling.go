@@ -6,6 +6,8 @@ package profiling
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	pprofhttp "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -83,4 +85,18 @@ func (f *Flags) Start() (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// AttachPprof registers the standard net/http/pprof handlers on mux under
+// /debug/pprof/, the endpoints the fleet hub's continuous-profiling
+// capture hits when an anomaly rule fires. Gated behind the -pprof flag
+// in the daemons: the handlers expose goroutine stacks and heap contents,
+// which is exactly what a post-mortem wants and exactly what an open
+// metrics port shouldn't leak by default.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprofhttp.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprofhttp.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprofhttp.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprofhttp.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprofhttp.Trace)
 }

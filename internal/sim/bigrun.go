@@ -68,6 +68,15 @@ type BigRunConfig struct {
 	// the sim-clocked registry, so the token bucket refills in
 	// simulation time.
 	Tracer *trace.Tracer
+
+	// HealthTick, when set, is invoked every HealthInterval simulated
+	// seconds (default 30) for the length of the run — the hook the fleet
+	// health hub's Tick runs from, so the identical anomaly detectors
+	// evaluate the simulated cluster on the simulated clock. The ticker
+	// proc is only spawned when the hook is set and never touches the
+	// RNG, so runs without it stay bit-identical to the pinned goldens.
+	HealthTick     func(now float64)
+	HealthInterval float64
 }
 
 // Exit codes used by the big-run model, matching the wrapper's segment
@@ -287,6 +296,18 @@ func RunBig(cfg BigRunConfig) (*BigRunResult, error) {
 					cp.Interrupt()
 				}
 				return
+			}
+		})
+	}
+	if cfg.HealthTick != nil {
+		interval := cfg.HealthInterval
+		if interval <= 0 {
+			interval = 30
+		}
+		s.Go(func(p *simevent.Proc) {
+			for p.Now() < cfg.Duration {
+				p.Wait(interval)
+				cfg.HealthTick(p.Now())
 			}
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -148,6 +149,35 @@ func (m *Master) Instrument(reg *telemetry.Registry) {
 	reg.GaugeFunc("lobster_wq_cores_connected",
 		"Cores advertised by connected workers.",
 		func() float64 { return float64(m.Stats().CoresConnected) })
+	reg.GaugeFunc("lobster_wq_results_pending",
+		"Results received from workers and not yet collected by WaitResult.",
+		func() float64 {
+			m.resMu.Lock()
+			n := len(m.results)
+			m.resMu.Unlock()
+			return float64(n)
+		})
+
+	// Dispatch-plane instruments: per-shard queue depths for the skew
+	// detectors, steal/park/wake counters for the idle-gate economics, and
+	// the batch-size histogram that shows how full dispatch rounds run.
+	m.d.tel.Store(&dispatchTel{
+		steals: reg.Counter("lobster_wq_dispatch_steals_total",
+			"Dispatch batches taken from a non-home queue."),
+		parks: reg.Counter("lobster_wq_dispatch_parks_total",
+			"Dispatcher park episodes (every queue empty)."),
+		wakes: reg.Counter("lobster_wq_dispatch_wakes_total",
+			"Idle-gate broadcasts waking parked dispatchers."),
+		batchSize: reg.Histogram("lobster_wq_dispatch_batch_size",
+			"Tasks taken per dispatch batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	})
+	depth := reg.GaugeFuncVec("lobster_wq_shard_queue_depth",
+		"Ready tasks queued per dispatch shard.", "shard")
+	for i := range m.d.queues {
+		q := &m.d.queues[i]
+		depth.With(func() float64 { return float64(q.size.Load()) }, strconv.Itoa(i))
+	}
 }
 
 // Trace attaches a tracer: every task gets a root span spanning

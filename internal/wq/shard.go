@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lobster/internal/telemetry"
 	"lobster/internal/trace"
 )
 
@@ -118,6 +119,31 @@ type dispatchTable struct {
 	idleMu   sync.Mutex
 	idleCond *sync.Cond
 	rng      atomic.Uint64 // splitmix64 state for power-of-two-choices
+
+	// tel is installed by Master.Instrument after traffic may already be
+	// flowing; the zero set keeps the uninstrumented hot path at a nil
+	// branch and zero allocations (pinned by BenchmarkDispatchDisabledTel).
+	tel atomic.Pointer[dispatchTel]
+}
+
+// dispatchTel is the dispatch plane's instrument set: steal/park/wake
+// counters and the per-dispatch batch-size histogram. The zero value is
+// fully functional — every field nil, every call a nil-receiver no-op.
+type dispatchTel struct {
+	steals    *telemetry.Counter
+	parks     *telemetry.Counter
+	wakes     *telemetry.Counter
+	batchSize *telemetry.Histogram
+}
+
+var noDispatchTel dispatchTel
+
+// telemetry returns the installed instruments, or the free zero set.
+func (d *dispatchTable) telemetry() *dispatchTel {
+	if t := d.tel.Load(); t != nil {
+		return t
+	}
+	return &noDispatchTel
 }
 
 func newDispatchTable() *dispatchTable {
@@ -173,6 +199,7 @@ func (d *dispatchTable) enqueue(m *taskMeta) {
 // dispatcher either sees the new work before parking or is woken here.
 func (d *dispatchTable) wakeSleepers() {
 	if d.sleepers.Load() > 0 {
+		d.telemetry().wakes.Inc()
 		d.idleMu.Lock()
 		d.idleCond.Broadcast()
 		d.idleMu.Unlock()
@@ -205,6 +232,11 @@ func (d *dispatchTable) popBatch(home uint32, dst []*taskMeta) int {
 		if n > 0 {
 			q.size.Add(int64(-n))
 			d.pending.Add(int64(-n))
+			tel := d.telemetry()
+			if k > 0 {
+				tel.steals.Inc()
+			}
+			tel.batchSize.Observe(float64(n))
 			return n
 		}
 	}
@@ -214,6 +246,7 @@ func (d *dispatchTable) popBatch(home uint32, dst []*taskMeta) int {
 // park blocks until work may be available or stop() reports the caller
 // should exit. The caller re-checks its own conditions after park returns.
 func (d *dispatchTable) park(stop func() bool) {
+	d.telemetry().parks.Inc()
 	d.sleepers.Add(1)
 	d.idleMu.Lock()
 	for d.pending.Load() == 0 && !stop() {
