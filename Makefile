@@ -4,11 +4,11 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane bench-scale bench-health
+.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane bench-scale bench-health bench-tsdb
 
 all: check
 
-check: vet build test race chaos fuzz bench-scale bench-health
+check: vet build test race chaos fuzz bench-scale bench-health bench-tsdb
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadEvents -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -fuzz FuzzBatchDispatch -fuzztime $(FUZZTIME) ./internal/wq/
 	$(GO) test -fuzz FuzzPromParse -fuzztime $(FUZZTIME) ./internal/health/
+	$(GO) test -fuzz FuzzBlockRoundTrip -fuzztime $(FUZZTIME) ./internal/tsdb/
 
 bench:
 	$(GO) test -bench=Fig -benchmem .
@@ -77,3 +78,12 @@ bench-dataplane:
 # hardware with -time-tolerance 0.05). Part of `make check`.
 bench-health:
 	$(GO) run ./cmd/bench-guard -health
+
+# History-plane guard: holds the embedded time-series store against
+# BENCH_tsdb.json. Steady-state append is bounded at zero allocations
+# and the 100-endpoint hub workload at 2 bytes/sample (both absolute —
+# deterministic costs); the 1M-sample range query must finish under
+# 50 ms; wall clock otherwise gets the loose shared-host tolerance.
+# Part of `make check`.
+bench-tsdb:
+	$(GO) run ./cmd/bench-guard -tsdb

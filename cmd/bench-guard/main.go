@@ -32,7 +32,7 @@ const (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json; BENCH_dataplane.json with -dataplane; BENCH_scale.json with -scale; BENCH_health.json with -health)")
+		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json; BENCH_dataplane.json with -dataplane; BENCH_scale.json with -scale; BENCH_health.json with -health; BENCH_tsdb.json with -tsdb)")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional regression of best ns/op (of B/op with -dataplane)")
 		timeTol   = flag.Float64("time-tolerance", 0.50, "with -dataplane: allowed fractional regression of best ns/op; wall clock on shared hosts jitters far more than allocations, tighten on quiet hardware")
 		count     = flag.Int("count", 3, "benchmark repetitions (best of N)")
@@ -41,10 +41,17 @@ func main() {
 		dataplane = flag.Bool("dataplane", false, "guard the streaming data-plane benchmarks instead of the simulation kernel")
 		scale     = flag.Bool("scale", false, "guard the sharded dispatch-plane scale benchmarks instead of the simulation kernel")
 		healthOn  = flag.Bool("health", false, "guard the fleet health plane: 100-endpoint scrape/merge cost, disabled-path allocations, and kernel overhead vs BENCH_kernel.json")
+		tsdbOn    = flag.Bool("tsdb", false, "guard the embedded time-series store: zero-alloc steady append, hub-workload bytes/sample, 1M-sample query latency")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *tsdbOn:
+		path := *baseline
+		if path == "" {
+			path = "BENCH_tsdb.json"
+		}
+		err = runTsdb(path, *timeTol, *count, *benchtime, *update)
 	case *healthOn:
 		path := *baseline
 		if path == "" {

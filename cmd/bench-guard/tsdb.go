@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+// Time-series store guard: holds the history plane to the three costs
+// it promised when it landed, against BENCH_tsdb.json:
+//
+//  1. Steady-state append: a sample into a known series with block room
+//     must allocate nothing (max_allocs_per_op, absolute — allocation
+//     counts are deterministic) and hold its pinned wall clock within
+//     -time-tolerance. The hub calls this a few thousand times per tick.
+//  2. Compression: the 100-endpoint hub workload (40 series each, 5 s
+//     ticks, the realistic gauge/counter mix) must stay under
+//     max_bytes_per_sample (absolute — compression is deterministic).
+//     This is what makes a day of fleet history fit in memory.
+//  3. Query latency: a windowed sum(rate()) over a 1M-sample store must
+//     finish under max_ns_op (absolute) and within -time-tolerance of
+//     the pinned samples — replotting a ramp figure stays interactive.
+
+const (
+	tsdbSteadyBench = "BenchmarkAppendSteady"
+	tsdbFleetBench  = "BenchmarkAppendFleet100"
+	tsdbQueryBench  = "BenchmarkRangeQuery1M"
+)
+
+// tsdbBaseline is the BENCH_tsdb.json schema.
+type tsdbBaseline struct {
+	Note     string `json:"note"`
+	Recorded string `json:"recorded"`
+	Pkg      string `json:"pkg"`
+
+	AppendSteady struct {
+		Note           string    `json:"note"`
+		NsOp           []float64 `json:"ns_op"`
+		MaxAllocsPerOp float64   `json:"max_allocs_per_op"`
+	} `json:"append_steady"`
+
+	AppendFleet struct {
+		Note              string    `json:"note"`
+		NsOp              []float64 `json:"ns_op"`
+		MaxBytesPerSample float64   `json:"max_bytes_per_sample"`
+	} `json:"append_fleet"`
+
+	RangeQuery struct {
+		Note    string    `json:"note"`
+		NsOp    []float64 `json:"ns_op"`
+		MaxNsOp float64   `json:"max_ns_op"`
+	} `json:"range_query"`
+}
+
+func runTsdb(baselinePath string, timeTol float64, count int, benchtime string, update bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base tsdbBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if base.Pkg == "" {
+		base.Pkg = "./internal/tsdb/"
+	}
+
+	// All three benchmarks need steady state, not warmup: time-based
+	// benchtime (the -count default "5x" is for the seconds-long sim).
+	bt := benchtime
+	if bt == "5x" {
+		bt = "1s"
+	}
+	steady, err := tsdbBench(base.Pkg, tsdbSteadyBench, count, bt)
+	if err != nil {
+		return err
+	}
+	fleet, err := tsdbBench(base.Pkg, tsdbFleetBench, count, bt)
+	if err != nil {
+		return err
+	}
+	query, err := tsdbBench(base.Pkg, tsdbQueryBench, count, bt)
+	if err != nil {
+		return err
+	}
+
+	if update {
+		base.AppendSteady.NsOp = steady.nsOp
+		base.AppendFleet.NsOp = fleet.nsOp
+		base.RangeQuery.NsOp = query.nsOp
+		enc, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s with fresh samples\n", baselinePath)
+		return nil
+	}
+
+	var failures []string
+	relative := func(name string, fresh, pinned []float64) {
+		fb, pb := min(fresh), min(pinned)
+		fmt.Printf("%-28s best %12.0f ns/op vs pinned %12.0f (%+.1f%%), tolerance %.0f%%\n",
+			name, fb, pb, 100*(fb/pb-1), 100*timeTol)
+		if fb > pb*(1+timeTol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: best %.0f ns/op vs pinned %.0f exceeds %.0f%% bound",
+				name, fb, pb, 100*timeTol))
+		}
+	}
+	relative(tsdbSteadyBench, steady.nsOp, base.AppendSteady.NsOp)
+	relative(tsdbFleetBench, fleet.nsOp, base.AppendFleet.NsOp)
+	relative(tsdbQueryBench, query.nsOp, base.RangeQuery.NsOp)
+
+	// Absolute bounds: deterministic costs, no tolerance.
+	allocs := min(steady.allocsOp)
+	fmt.Printf("steady append: %.0f allocs/op (bound %.0f)\n", allocs, base.AppendSteady.MaxAllocsPerOp)
+	if allocs > base.AppendSteady.MaxAllocsPerOp {
+		failures = append(failures, fmt.Sprintf(
+			"steady-state append allocates %.0f/op, bound %.0f — the hot path lost its freelist or key reuse",
+			allocs, base.AppendSteady.MaxAllocsPerOp))
+	}
+	if len(fleet.bytesPerSample) == 0 {
+		failures = append(failures, tsdbFleetBench+" reported no bytes/sample metric")
+	} else {
+		bps := min(fleet.bytesPerSample)
+		fmt.Printf("hub workload compression: %.2f bytes/sample (bound %.1f)\n",
+			bps, base.AppendFleet.MaxBytesPerSample)
+		if bps > base.AppendFleet.MaxBytesPerSample {
+			failures = append(failures, fmt.Sprintf(
+				"hub workload compresses to %.2f bytes/sample, bound %.1f",
+				bps, base.AppendFleet.MaxBytesPerSample))
+		}
+	}
+	qb := min(query.nsOp)
+	fmt.Printf("1M-sample range query: %.1f ms (bound %.0f ms)\n", qb/1e6, base.RangeQuery.MaxNsOp/1e6)
+	if qb > base.RangeQuery.MaxNsOp {
+		failures = append(failures, fmt.Sprintf(
+			"1M-sample range query takes %.1f ms, bound %.0f ms",
+			qb/1e6, base.RangeQuery.MaxNsOp/1e6))
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("%d history-plane budget(s) exceeded", len(failures))
+	}
+	fmt.Println("ok: time-series store within budget")
+	return nil
+}
+
+// tsdbResult holds one benchmark's parsed samples.
+type tsdbResult struct {
+	nsOp           []float64
+	allocsOp       []float64
+	bytesPerSample []float64
+}
+
+var (
+	tsdbAllocsRe = regexp.MustCompile(`(\d+(?:\.\d+)?) allocs/op`)
+	tsdbBpsRe    = regexp.MustCompile(`(\d+(?:\.\d+)?) bytes/sample`)
+)
+
+func tsdbBench(pkg, name string, count int, benchtime string) (*tsdbResult, error) {
+	fmt.Printf("running %s -bench %s, %d×%s...\n", pkg, name, count, benchtime)
+	cmd := exec.Command("go", "test", pkg, "-run", "^$",
+		"-bench", "^"+name+"$", "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test %s: %w\n%s", pkg, err, out)
+	}
+	nameRe := regexp.MustCompile(`(?m)^` + name + `\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op.*$`)
+	r := &tsdbResult{}
+	for _, m := range nameRe.FindAllStringSubmatch(string(out), -1) {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			r.nsOp = append(r.nsOp, v)
+		}
+		if a := tsdbAllocsRe.FindStringSubmatch(m[0]); a != nil {
+			if v, err := strconv.ParseFloat(a[1], 64); err == nil {
+				r.allocsOp = append(r.allocsOp, v)
+			}
+		}
+		if a := tsdbBpsRe.FindStringSubmatch(m[0]); a != nil {
+			if v, err := strconv.ParseFloat(a[1], 64); err == nil {
+				r.bytesPerSample = append(r.bytesPerSample, v)
+			}
+		}
+	}
+	if len(r.nsOp) == 0 {
+		return nil, fmt.Errorf("no %s ns/op samples in benchmark output:\n%s", name, out)
+	}
+	return r, nil
+}

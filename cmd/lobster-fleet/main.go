@@ -1,7 +1,8 @@
 // Command lobster-fleet is the fleet monitoring hub: it scrapes every
 // component's /metrics endpoint, merges the series into cluster-wide
 // aggregates, evaluates the anomaly rule set, appends typed "alert"
-// events to a JSONL event log, and archives pprof bundles from the
+// events to a JSONL event log, records every merged scrape into an
+// embedded time-series store, and archives pprof bundles from the
 // affected endpoints when a profiling-enabled rule fires.
 //
 // Usage:
@@ -9,17 +10,25 @@
 //	lobster-fleet -scrape master=http://127.0.0.1:9099 \
 //	              -scrape chirpd=http://127.0.0.1:9095 \
 //	              -interval 5s -event-log fleet.jsonl -profiles ./profiles \
-//	              -http 127.0.0.1:9100
+//	              -tsdb ./history -http 127.0.0.1:9100
 //
-//	lobster-fleet -scrape master=http://127.0.0.1:9099 -once   # one tick, print, exit
+//	lobster-fleet -scrape master=http://127.0.0.1:9099 -once        # one tick, print, exit
+//	lobster-fleet -scrape master=http://127.0.0.1:9099 -once -json  # machine-readable snapshot
 //
-// The hub's own address serves /metrics (hub self-telemetry) and /fleet
-// (the merged JSON view `lobster -top -fleet` renders).
+//	lobster-fleet -plot -tsdb ./history \
+//	              -q 'avg_over_time(lobster_cluster_pilots_up[600])' \
+//	              -step 300                                          # replot a past run's ramp
+//
+// The hub's own address serves /metrics (hub self-telemetry), /fleet
+// (the merged JSON view `lobster -top -fleet` renders), and /query
+// (range queries over the recorded history).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -32,6 +41,7 @@ import (
 	"lobster/internal/monitor"
 	"lobster/internal/tabulate"
 	"lobster/internal/telemetry"
+	"lobster/internal/tsdb"
 )
 
 // scrapeFlags accumulates repeated -scrape name=url specs.
@@ -79,19 +89,37 @@ func main() {
 		evlog     = flag.String("event-log", "", "append typed alert events to this JSONL file")
 		evlogMax  = flag.Int64("event-log-max", 0, "rotate the event log after this many bytes (0 = never)")
 		profDir   = flag.String("profiles", "", "archive pprof bundles here when a profiling-enabled rule fires")
-		httpAddr  = flag.String("http", "", "serve hub telemetry (/metrics) and the merged fleet view (/fleet) on this address")
+		httpAddr  = flag.String("http", "", "serve hub telemetry (/metrics), the merged fleet view (/fleet), and history queries (/query) on this address")
 		downAfter = flag.Int("down-after", 2, "consecutive scrape failures before endpoint_down fires")
 		once      = flag.Bool("once", false, "run one scrape cycle, print the fleet view, and exit")
+		jsonOut   = flag.Bool("json", false, "with -once: print the hub view as JSON instead of tables")
+		tsdbDir   = flag.String("tsdb", "", "persist scrape history as compressed segments in this directory")
+		retention = flag.Duration("retention", 24*time.Hour, "raw-sample retention in the history store")
+		plot      = flag.Bool("plot", false, "query a recorded -tsdb directory and render it (no scraping)")
+		query     = flag.String("q", "", "with -plot: range query, e.g. 'sum(rate(lobster_wq_dispatches_total[600]))'")
+		start     = flag.Float64("start", 0, "with -plot: range start in seconds (0 = end minus one hour)")
+		end       = flag.Float64("end", 0, "with -plot: range end in seconds (0 = newest sample)")
+		step      = flag.Float64("step", 60, "with -plot: evaluation step in seconds")
+		csvOut    = flag.Bool("csv", false, "with -plot: emit CSV rows instead of an ASCII chart")
+		width     = flag.Int("width", 72, "with -plot: chart width in columns")
 	)
 	flag.Parse()
-	if err := run(eps, *rulesPath, *interval, *evlog, *evlogMax, *profDir, *httpAddr, *downAfter, *once); err != nil {
+	var err error
+	if *plot {
+		err = runPlot(os.Stdout, *tsdbDir, *query, *start, *end, *step, *csvOut, *width)
+	} else {
+		err = run(eps, *rulesPath, *interval, *evlog, *evlogMax, *profDir, *httpAddr,
+			*tsdbDir, *retention, *downAfter, *once, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lobster-fleet:", err)
 		os.Exit(1)
 	}
 }
 
 func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
-	evlogPath string, evlogMax int64, profDir, httpAddr string, downAfter int, once bool) error {
+	evlogPath string, evlogMax int64, profDir, httpAddr, tsdbDir string,
+	retention time.Duration, downAfter int, once, jsonOut bool) error {
 	if len(eps) == 0 {
 		return fmt.Errorf("no endpoints: pass at least one -scrape name=url")
 	}
@@ -117,6 +145,19 @@ func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
 		}
 		defer evl.Close()
 	}
+	var store *tsdb.Store
+	if tsdbDir != "" {
+		var err error
+		store, err = tsdb.Open(tsdb.Config{
+			Dir:       tsdbDir,
+			Retention: retention.Seconds(),
+			Log:       evl,
+		})
+		if err != nil {
+			return fmt.Errorf("opening history store: %w", err)
+		}
+		defer store.Close()
+	}
 	hub := health.NewHub(health.Config{
 		Endpoints:  eps,
 		Rules:      rules,
@@ -125,6 +166,7 @@ func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
 		ProfileDir: profDir,
 		Registry:   reg,
 		DownAfter:  downAfter,
+		Store:      store,
 		OnAlert: func(a monitor.AlertRecord) {
 			fmt.Fprintf(os.Stderr, "alert %-8s %-22s value=%.3g threshold=%.3g %s\n",
 				a.State, a.Rule, a.Value, a.Threshold, a.Help)
@@ -133,6 +175,9 @@ func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
 
 	if once {
 		hub.Tick()
+		if jsonOut {
+			return printJSON(os.Stdout, hub)
+		}
 		printFleet(hub)
 		return nil
 	}
@@ -145,8 +190,9 @@ func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
 		defer lis.Close()
 		mux := reg.Mux()
 		mux.Handle("/fleet", hub.StatusHandler())
+		mux.Handle("/query", hub.Store().QueryHandler())
 		go http.Serve(lis, mux)
-		fmt.Printf("fleet hub on http://%s/fleet (hub telemetry on /metrics)\n", lis.Addr())
+		fmt.Printf("fleet hub on http://%s/fleet (telemetry /metrics, history /query)\n", lis.Addr())
 	}
 
 	fmt.Printf("scraping %d endpoints every %s, %d rules armed\n",
@@ -161,7 +207,18 @@ func run(eps []health.Endpoint, rulesPath string, interval time.Duration,
 	printFleet(hub)
 	alerts := hub.Alerts()
 	fmt.Printf("shutting down: %d ticks, %d alert transitions\n", hub.Ticks(), len(alerts))
+	if err := hub.Store().Flush(); err != nil {
+		return fmt.Errorf("flushing history store: %w", err)
+	}
 	return nil
+}
+
+// printJSON emits the machine-readable hub view — the same document
+// StatusHandler serves — for scripting a one-shot health check.
+func printJSON(w io.Writer, hub *health.Hub) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(hub.View(20, true))
 }
 
 // printFleet renders the endpoint table and top fleet aggregates.

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lobster/internal/health"
+	"lobster/internal/tsdb"
+)
+
+// TestOnceJSONGolden pins the exact machine-readable snapshot `-once
+// -json` prints: a hub on a fixed clock scraping a fixed payload must
+// serialize byte-identically, because scripts parse this.
+func TestOnceJSONGolden(t *testing.T) {
+	page := []byte("# TYPE lobster_wq_tasks_done_total counter\n" +
+		"lobster_wq_tasks_done_total 42\n" +
+		"# TYPE lobster_wq_tasks_running gauge\n" +
+		"lobster_wq_tasks_running 7\n")
+	now := 0.0
+	hub := health.NewHub(health.Config{
+		Endpoints: []health.Endpoint{
+			{Name: "m-1", Component: "master", Source: &health.StaticSource{Text: page}},
+		},
+		Rules: health.NewRuleSet(nil),
+		Clock: func() float64 { return now },
+	})
+	now = 5
+	hub.Tick()
+
+	var buf bytes.Buffer
+	if err := printJSON(&buf, hub); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "t": 5,
+  "ticks": 1,
+  "endpoints": [
+    {
+      "name": "m-1",
+      "component": "master",
+      "up": true,
+      "age_sec": 0,
+      "series": 2,
+      "fails": 0
+    }
+  ],
+  "series": [
+    {
+      "Name": "lobster_wq_tasks_done_total",
+      "Type": "counter",
+      "Total": 42,
+      "Max": 42,
+      "N": 1,
+      "PerComponent": {
+        "master": 42
+      }
+    },
+    {
+      "Name": "lobster_wq_tasks_running",
+      "Type": "gauge",
+      "Total": 7,
+      "Max": 7,
+      "N": 1,
+      "PerComponent": {
+        "master": 7
+      }
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("-once -json snapshot drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRunPlotChartAndCSV drives the offline replot path end to end: a
+// store recorded to disk, reopened by runPlot, rendered both ways.
+func TestRunPlotChartAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	st, err := tsdb.Open(tsdb.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]string{"component": "master", "instance": "m-1"}
+	for i := 0; i <= 120; i++ {
+		st.Append("lobster_cluster_pilots_up", labels, float64(i*10), float64(i))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var chart bytes.Buffer
+	err = runPlot(&chart, dir, "lobster_cluster_pilots_up", 0, 0, 60, false, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := chart.String()
+	if !strings.Contains(out, "lobster_cluster_pilots_up{component=master,instance=m-1}") {
+		t.Errorf("chart lacks series title:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("chart has no plotted points:\n%s", out)
+	}
+
+	var csv bytes.Buffer
+	if err := runPlot(&csv, dir, "lobster_cluster_pilots_up", 600, 1200, 300, true, 60); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 4 { // header + 600,900,1200
+		t.Fatalf("csv rows = %d, want 4:\n%s", len(lines), csv.String())
+	}
+	if lines[1] != "600,60" || lines[3] != "1200,120" {
+		t.Errorf("csv values drifted: %q", lines)
+	}
+
+	// Error paths a user will actually hit.
+	if err := runPlot(&csv, "", "x", 0, 0, 60, false, 60); err == nil {
+		t.Error("missing -tsdb dir not rejected")
+	}
+	if err := runPlot(&csv, dir, "", 0, 0, 60, false, 60); err == nil {
+		t.Error("missing -q not rejected")
+	}
+	if err := runPlot(&csv, dir, "no_such_metric", 0, 0, 60, false, 60); err == nil {
+		t.Error("no-match query not rejected")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lobster/internal/tsdb"
+)
+
+// runPlot reopens a recorded history directory, evaluates one range
+// query, and renders the result: the offline replot path for the
+// paper's ramp figures (Fig 5/6), no live fleet required.
+func runPlot(w io.Writer, dir, query string, start, end, step float64, csv bool, width int) error {
+	if dir == "" {
+		return fmt.Errorf("-plot needs -tsdb <dir> (a directory a previous run recorded)")
+	}
+	if query == "" {
+		return fmt.Errorf("-plot needs -q '<query>', e.g. -q 'avg_over_time(lobster_cluster_pilots_up[600])'")
+	}
+	q, err := tsdb.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	st, err := tsdb.Open(tsdb.Config{Dir: dir})
+	if err != nil {
+		return fmt.Errorf("opening history store: %w", err)
+	}
+	defer st.Close()
+	if st.Stats().Samples == 0 {
+		return fmt.Errorf("%s holds no samples", dir)
+	}
+	if end <= 0 {
+		end = st.MaxTime()
+	}
+	if start <= 0 {
+		start = end - 3600
+	}
+	if step <= 0 {
+		step = 60
+	}
+	results := st.EvalRange(q, start, end, step)
+	if len(results) == 0 {
+		return fmt.Errorf("query %q matched no series in [%g, %g]", query, start, end)
+	}
+	if csv {
+		return tsdb.WriteCSV(w, results)
+	}
+	for _, sr := range results {
+		title := sr.Name
+		if len(sr.Labels) > 0 {
+			parts := make([]string, 0, len(sr.Labels))
+			for k, v := range sr.Labels {
+				parts = append(parts, k+"="+v)
+			}
+			sort.Strings(parts)
+			title += "{" + strings.Join(parts, ",") + "}"
+		}
+		if title == "" {
+			title = query
+		}
+		tsdb.Chart(w, title, sr.Samples, width, 12)
+	}
+	return nil
+}

@@ -11,7 +11,43 @@ import (
 	"lobster/internal/tabulate"
 	"lobster/internal/telemetry"
 	"lobster/internal/trace"
+	"lobster/internal/tsdb"
 )
+
+// sparkPoints is how many trailing samples the watch-mode sparklines
+// show — one screen column per refresh.
+const sparkPoints = 24
+
+// topHistory is the short in-process history window behind the watch
+// mode's per-series sparklines: every refresh appends the scraped
+// values into an embedded tsdb with a few minutes of retention, and the
+// trend column tails the last sparkPoints samples back out of it.
+type topHistory struct {
+	store *tsdb.Store
+	seq   float64 // refresh counter used as the sample clock
+}
+
+func newTopHistory() *topHistory {
+	return &topHistory{store: tsdb.New(tsdb.Config{Retention: 4 * sparkPoints, RollupStep: sparkPoints})}
+}
+
+// add records one value for the named series at the current refresh.
+func (h *topHistory) add(name string, labels map[string]string, v float64) {
+	h.store.Append(name, labels, h.seq, v)
+}
+
+// spark renders the series' trailing window as a sparkline.
+func (h *topHistory) spark(name string, labels map[string]string) string {
+	tail := h.store.Tail(name, labels, sparkPoints)
+	if len(tail) < 2 {
+		return ""
+	}
+	vals := make([]float64, len(tail))
+	for i, s := range tail {
+		vals[i] = s.V
+	}
+	return tabulate.Spark(vals)
+}
 
 // top fetches /status from a live lobster (started with -http) and
 // prints a dashboard: build/uptime/sampling header, the per-segment
@@ -30,16 +66,30 @@ func top(baseURL string, watch, fleet bool, interval time.Duration) error {
 	url := strings.TrimRight(baseURL, "/") + "/status"
 	var last *telemetry.Status
 	var lastOK time.Time
+	var hist *topHistory
+	if watch {
+		hist = newTopHistory()
+	}
 	for {
 		st, err := fetchStatus(client, url)
 		if err == nil {
 			last, lastOK = st, time.Now()
+			if hist != nil {
+				hist.seq++
+				for _, p := range st.Series {
+					v := p.Value
+					if p.Type == "histogram" {
+						v = p.Mean
+					}
+					hist.add(p.Name, p.Labels, v)
+				}
+			}
 		}
 		if !watch {
 			if err != nil {
 				return err
 			}
-			fmt.Print(renderStatus(last, 0, nil))
+			fmt.Print(renderStatus(last, 0, nil, nil))
 			return nil
 		}
 		// Home the cursor and clear below rather than clearing the
@@ -48,7 +98,7 @@ func top(baseURL string, watch, fleet bool, interval time.Duration) error {
 		if last == nil {
 			fmt.Printf("lobster top: no successful scrape yet: %v\n", err)
 		} else {
-			fmt.Print(renderStatus(last, time.Since(lastOK), err))
+			fmt.Print(renderStatus(last, time.Since(lastOK), err, hist))
 		}
 		time.Sleep(interval)
 	}
@@ -72,8 +122,9 @@ func fetchStatus(client *http.Client, url string) (*telemetry.Status, error) {
 
 // renderStatus renders one status page. age is how long ago the data was
 // scraped (0 = fresh this cycle); scrapeErr, when non-nil, is the error
-// that kept this cycle from refreshing it.
-func renderStatus(st *telemetry.Status, age time.Duration, scrapeErr error) string {
+// that kept this cycle from refreshing it; hist, when non-nil (watch
+// mode), adds a per-series sparkline over the recent refreshes.
+func renderStatus(st *telemetry.Status, age time.Duration, scrapeErr error, hist *topHistory) string {
 	var b strings.Builder
 	if scrapeErr != nil {
 		fmt.Fprintf(&b, "!! SCRAPE FAILED: %v\n!! showing data %.1fs old\n", scrapeErr, age.Seconds())
@@ -99,7 +150,11 @@ func renderStatus(st *telemetry.Status, age time.Duration, scrapeErr error) stri
 		b.WriteByte('\n')
 	}
 
-	tb := tabulate.NewTable("Telemetry", "series", "type", "value")
+	headers := []string{"series", "type", "value"}
+	if hist != nil {
+		headers = append(headers, "trend")
+	}
+	tb := tabulate.NewTable("Telemetry", headers...)
 	for _, p := range st.Series {
 		name := p.Name
 		if len(p.Labels) > 0 {
@@ -120,7 +175,11 @@ func renderStatus(st *telemetry.Status, age time.Duration, scrapeErr error) stri
 		} else {
 			val = fmt.Sprintf("%g", p.Value)
 		}
-		tb.Row(name, p.Type, val)
+		if hist != nil {
+			tb.Row(name, p.Type, val, hist.spark(p.Name, p.Labels))
+		} else {
+			tb.Row(name, p.Type, val)
+		}
 	}
 	b.WriteString(tb.Render())
 	b.WriteByte('\n')
@@ -165,23 +224,33 @@ func topFleet(client *http.Client, baseURL string, watch bool, interval time.Dur
 	url := strings.TrimRight(baseURL, "/") + "/fleet"
 	var last *fleetView
 	var lastOK time.Time
+	var hist *topHistory
+	if watch {
+		hist = newTopHistory()
+	}
 	for {
 		v, err := fetchFleet(client, url)
 		if err == nil {
 			last, lastOK = v, time.Now()
+			if hist != nil {
+				hist.seq++
+				for _, s := range v.Series {
+					hist.add(s.Name, nil, s.Total)
+				}
+			}
 		}
 		if !watch {
 			if err != nil {
 				return err
 			}
-			fmt.Print(renderFleet(last, 0, nil))
+			fmt.Print(renderFleet(last, 0, nil, nil))
 			return nil
 		}
 		fmt.Print("\033[H\033[J")
 		if last == nil {
 			fmt.Printf("lobster top: no successful hub scrape yet: %v\n", err)
 		} else {
-			fmt.Print(renderFleet(last, time.Since(lastOK), err))
+			fmt.Print(renderFleet(last, time.Since(lastOK), err, hist))
 		}
 		time.Sleep(interval)
 	}
@@ -203,7 +272,7 @@ func fetchFleet(client *http.Client, url string) (*fleetView, error) {
 	return &v, nil
 }
 
-func renderFleet(v *fleetView, age time.Duration, scrapeErr error) string {
+func renderFleet(v *fleetView, age time.Duration, scrapeErr error, hist *topHistory) string {
 	var b strings.Builder
 	if scrapeErr != nil {
 		fmt.Fprintf(&b, "!! HUB SCRAPE FAILED: %v\n!! showing data %.1fs old\n", scrapeErr, age.Seconds())
@@ -249,6 +318,9 @@ func renderFleet(v *fleetView, age time.Duration, scrapeErr error) string {
 		}
 		sort.Strings(order)
 		headers := append([]string{"series", "total", "max"}, order...)
+		if hist != nil {
+			headers = append(headers, "trend")
+		}
 		cells := make([]any, 0, len(headers))
 		st := tabulate.NewTable("Fleet aggregates", headers...)
 		for _, s := range v.Series {
@@ -259,6 +331,9 @@ func renderFleet(v *fleetView, age time.Duration, scrapeErr error) string {
 			cells = append(cells, s.Name, fmt.Sprintf("%.6g", s.Total), fmt.Sprintf("%.6g", s.Max))
 			for _, c := range order {
 				cells = append(cells, fmt.Sprintf("%.6g", s.PerComponent[c]))
+			}
+			if hist != nil {
+				cells = append(cells, hist.spark(s.Name, nil))
 			}
 			st.Row(cells...)
 		}

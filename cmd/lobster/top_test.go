@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lobster/internal/telemetry"
+)
+
+// TestWatchSparklines feeds the watch-mode history a few refreshes and
+// checks the rendered dashboard grows a trend column with a sparkline
+// per series — and that one-shot mode (no history) stays column-stable.
+func TestWatchSparklines(t *testing.T) {
+	st := &telemetry.Status{
+		Time: 30,
+		Series: []telemetry.SeriesPoint{
+			{Name: "lobster_wq_tasks_done_total", Type: "counter", Value: 40},
+			{Name: "lobster_wq_tasks_running", Type: "gauge", Value: 3},
+		},
+	}
+	hist := newTopHistory()
+	for i := 0; i < 4; i++ {
+		hist.seq++
+		hist.add("lobster_wq_tasks_done_total", nil, float64(i*10))
+		hist.add("lobster_wq_tasks_running", nil, 3)
+	}
+
+	out := renderStatus(st, 0, nil, hist)
+	if !strings.Contains(out, "trend") {
+		t.Errorf("watch render lacks trend column:\n%s", out)
+	}
+	if !strings.Contains(out, "▁") || !strings.Contains(out, "█") {
+		t.Errorf("ramping counter should render a rising sparkline:\n%s", out)
+	}
+	if !strings.Contains(out, "▅▅▅▅") {
+		t.Errorf("flat gauge should render a flat mid-height sparkline:\n%s", out)
+	}
+
+	oneShot := renderStatus(st, 0, nil, nil)
+	if strings.Contains(oneShot, "trend") {
+		t.Errorf("one-shot render must not grow a trend column:\n%s", oneShot)
+	}
+}
+
+// TestTopHistoryWindow: the sparkline tails at most sparkPoints samples
+// and needs at least two before drawing anything.
+func TestTopHistoryWindow(t *testing.T) {
+	hist := newTopHistory()
+	hist.seq++
+	hist.add("m", nil, 1)
+	if s := hist.spark("m", nil); s != "" {
+		t.Errorf("single sample rendered %q, want empty", s)
+	}
+	for i := 0; i < 3*sparkPoints; i++ {
+		hist.seq++
+		hist.add("m", nil, float64(i))
+	}
+	if n := len([]rune(hist.spark("m", nil))); n != sparkPoints {
+		t.Errorf("sparkline length = %d runes, want %d", n, sparkPoints)
+	}
+	if s := hist.spark("absent", nil); s != "" {
+		t.Errorf("unknown series rendered %q, want empty", s)
+	}
+}

@@ -1,6 +1,7 @@
 package health
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"lobster/internal/monitor"
 	"lobster/internal/telemetry"
+	"lobster/internal/tsdb"
 )
 
 // Config wires a Hub.
@@ -49,6 +51,19 @@ type Config struct {
 	// DownAfter is how many consecutive scrape failures mark an endpoint
 	// down (default 2).
 	DownAfter int
+
+	// Store receives every merged scrape as time-series history and
+	// backs the rules' multi-tick windows. Nil means an in-memory store
+	// with default retention is created; the caller owns flushing a
+	// persistent store.
+	Store *tsdb.Store
+
+	// ScrapeTimeout bounds a single tick's scrape phase: endpoints that
+	// have not answered by then are counted as failed for the tick and
+	// their in-flight requests cancelled, so one hung endpoint cannot
+	// stretch a tick past the interval. Default: Interval when set,
+	// otherwise 5s.
+	ScrapeTimeout time.Duration
 }
 
 // Hub is the fleet monitoring loop: scrape, merge, evaluate, alert.
@@ -56,6 +71,7 @@ type Hub struct {
 	cfg   Config
 	rules *RuleSet
 	clock telemetry.Clock
+	store *tsdb.Store
 
 	mu     sync.Mutex
 	eps    []endpointScrape
@@ -84,6 +100,18 @@ func NewHub(cfg Config) *Hub {
 	if h.cfg.DownAfter <= 0 {
 		h.cfg.DownAfter = 2
 	}
+	if h.cfg.ScrapeTimeout <= 0 {
+		if h.cfg.Interval > 0 {
+			h.cfg.ScrapeTimeout = h.cfg.Interval
+		} else {
+			h.cfg.ScrapeTimeout = 5 * time.Second
+		}
+	}
+	h.store = cfg.Store
+	if h.store == nil {
+		h.store = tsdb.New(tsdb.Config{})
+	}
+	h.rules.SetHistory(h.store)
 	h.eps = make([]endpointScrape, len(cfg.Endpoints))
 	for i, ep := range cfg.Endpoints {
 		h.eps[i] = endpointScrape{ep: ep}
@@ -117,29 +145,75 @@ func (h *Hub) Tick() []monitor.AlertRecord {
 	defer h.mu.Unlock()
 	h.ticks++
 
-	// Scrape the fleet in parallel; each endpoint touches only its own
-	// slot.
-	var wg sync.WaitGroup
+	// Scrape the fleet in parallel under a shared deadline. Goroutines
+	// only send on the buffered channel — never touch hub state — so a
+	// straggler that answers after the deadline is simply dropped and
+	// its endpoint counted failed for this tick.
+	type scrapeResult struct {
+		idx    int
+		series []Series
+		err    error
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ScrapeTimeout)
+	results := make(chan scrapeResult, len(h.eps))
 	sem := make(chan struct{}, scrapeConcurrency)
 	for i := range h.eps {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(e *endpointScrape) {
-			defer func() { <-sem; wg.Done() }()
-			series, err := e.ep.Source.Scrape()
-			if err != nil {
-				e.fails++
-				e.lastErr = err.Error()
+		go func(i int, src Source) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				results <- scrapeResult{idx: i, err: ctx.Err()}
 				return
 			}
-			e.fails = 0
-			e.lastErr = ""
-			e.lastOK = now
-			e.hasOK = true
-			e.stamp(series)
-		}(&h.eps[i])
+			series, err := scrapeSource(ctx, src)
+			results <- scrapeResult{idx: i, series: series, err: err}
+		}(i, h.eps[i].ep.Source)
 	}
-	wg.Wait()
+	got := make([]bool, len(h.eps))
+	apply := func(r scrapeResult) {
+		got[r.idx] = true
+		e := &h.eps[r.idx]
+		if r.err != nil {
+			e.fails++
+			e.lastErr = r.err.Error()
+			return
+		}
+		e.fails = 0
+		e.lastErr = ""
+		e.lastOK = now
+		e.hasOK = true
+		e.stamp(r.series)
+	}
+	pending := len(h.eps)
+collect:
+	for pending > 0 {
+		select {
+		case r := <-results:
+			apply(r)
+			pending--
+		case <-ctx.Done():
+			break collect
+		}
+	}
+	cancel()
+	// Results that raced the deadline are still good — take them.
+drain:
+	for pending > 0 {
+		select {
+		case r := <-results:
+			apply(r)
+			pending--
+		default:
+			break drain
+		}
+	}
+	for i := range h.eps {
+		if !got[i] {
+			h.eps[i].fails++
+			h.eps[i].lastErr = "scrape deadline exceeded"
+		}
+	}
 	h.scrapes.Add(int64(len(h.eps)))
 
 	// Merge. Failed endpoints keep contributing their last-good series
@@ -177,6 +251,14 @@ func (h *Hub) Tick() []monitor.AlertRecord {
 	h.scrapeErr.Add(int64(errs))
 	h.upGauge.Set(float64(f.Up()))
 	h.seriesG.Set(float64(len(f.Series)))
+
+	// Record the merged view into history before evaluating rules, so a
+	// window ending at `now` sees this tick's values — the store is the
+	// rules' multi-tick memory.
+	for i := range f.Series {
+		s := &f.Series[i]
+		h.store.Append(s.Name, s.Labels, now, s.Value)
+	}
 
 	// Built-in endpoint-down detection, then the declarative rules.
 	var emitted []monitor.AlertRecord
@@ -252,6 +334,11 @@ func (h *Hub) Fleet() *Fleet {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.fleet
+}
+
+// Store returns the hub's time-series history.
+func (h *Hub) Store() *tsdb.Store {
+	return h.store
 }
 
 // Alerts returns a copy of every alert emitted so far.
@@ -357,8 +444,11 @@ func fetchToFile(client *http.Client, url, path string) error {
 	return f.Close()
 }
 
-// statusView is the JSON document the hub's /fleet endpoint serves.
-type statusView struct {
+// View is the hub's machine-readable status document: endpoint scrape
+// health, currently-firing rules, an alert tail, and the cluster-wide
+// aggregates. StatusHandler serves it over HTTP; `lobster-fleet -once
+// -json` prints it for scripting.
+type View struct {
 	Time      float64               `json:"t"`
 	Ticks     int64                 `json:"ticks"`
 	Endpoints []EndpointState       `json:"endpoints"`
@@ -367,33 +457,40 @@ type statusView struct {
 	Series    []FleetSeries         `json:"series,omitempty"`
 }
 
-// StatusHandler serves the hub's merged view as JSON: endpoint scrape
-// health, currently-firing rules, recent alerts, and the cluster-wide
-// aggregates. `?alerts=N` bounds the alert tail (default 20);
-// `?series=0` drops the aggregate dump for cheap polling.
+// View snapshots the hub's status. alertTail bounds the most-recent
+// alerts included (0 drops them); includeSeries controls the aggregate
+// dump. Aggregates come back sorted by name.
+func (h *Hub) View(alertTail int, includeSeries bool) View {
+	h.mu.Lock()
+	v := View{Ticks: h.ticks, Firing: h.rules.Firing()}
+	if h.fleet != nil {
+		v.Time = h.fleet.Time
+		v.Endpoints = h.fleet.Endpoints
+		if includeSeries {
+			v.Series = h.fleet.Aggregate()
+		}
+	}
+	if n := len(h.alerts); alertTail > 0 && n > 0 {
+		if alertTail > n {
+			alertTail = n
+		}
+		v.Alerts = append([]monitor.AlertRecord(nil), h.alerts[n-alertTail:]...)
+	}
+	h.mu.Unlock()
+	sort.Slice(v.Series, func(i, j int) bool { return v.Series[i].Name < v.Series[j].Name })
+	return v
+}
+
+// StatusHandler serves the hub's merged view as JSON. `?alerts=N`
+// bounds the alert tail (default 20); `?series=0` drops the aggregate
+// dump for cheap polling.
 func (h *Hub) StatusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		h.mu.Lock()
-		v := statusView{Ticks: h.ticks, Firing: h.rules.Firing()}
-		if h.fleet != nil {
-			v.Time = h.fleet.Time
-			v.Endpoints = h.fleet.Endpoints
-			if r.URL.Query().Get("series") != "0" {
-				v.Series = h.fleet.Aggregate()
-			}
-		}
 		tail := 20
 		if q := r.URL.Query().Get("alerts"); q != "" {
 			fmt.Sscanf(q, "%d", &tail)
 		}
-		if n := len(h.alerts); tail > 0 && n > 0 {
-			if tail > n {
-				tail = n
-			}
-			v.Alerts = append([]monitor.AlertRecord(nil), h.alerts[n-tail:]...)
-		}
-		h.mu.Unlock()
-		sort.Slice(v.Series, func(i, j int) bool { return v.Series[i].Name < v.Series[j].Name })
+		v := h.View(tail, r.URL.Query().Get("series") != "0")
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"lobster/internal/tsdb"
 )
 
 // Expr selects and reduces fleet series to one scalar. Fn picks the
@@ -18,15 +20,27 @@ import (
 //	hist_mean fleet-wide mean of a histogram metric (sum of _sum over
 //	          sum of _count)
 //
-// rate and stall keep per-rule memory across ticks; both abstain on their
-// first observation. Every fn abstains (the rule is skipped that tick)
-// when no series match, so a rule set written for the full fleet degrades
-// quietly on components that don't expose a given metric.
+// rate and stall are multi-tick functions. With history attached (see
+// RuleSet.SetHistory — the hub always attaches its tsdb store) they
+// evaluate against the recorded window: rate is the counter-reset-safe
+// per-second increase over the last Window seconds (or the last two
+// samples when Window is zero, matching the classic tick-over-tick
+// rate), and stall scans recorded history for the instant the summed
+// value last changed, so a freshly restarted hub with persisted history
+// doesn't forget a wedged counter. Without history both fall back to
+// per-rule memory across ticks and abstain on their first observation.
+// Every fn abstains (the rule is skipped that tick) when no series
+// match, so a rule set written for the full fleet degrades quietly on
+// components that don't expose a given metric.
 type Expr struct {
 	Metric string            `json:"metric"`
 	Match  map[string]string `json:"match,omitempty"`
 	Fn     string            `json:"fn,omitempty"`
 	Over   string            `json:"over,omitempty"`
+
+	// Window widens rate/stall to a history window of this many
+	// seconds. Zero keeps the single-tick lookback semantics.
+	Window float64 `json:"window,omitempty"`
 }
 
 // Gate conditions a rule on a second expression: the rule only evaluates
@@ -99,10 +113,70 @@ func exceeds(op string, val, threshold float64) bool {
 	}
 }
 
+// History is the recorded multi-tick window rate/stall evaluate
+// against: the per-timestamp sum of every matching series over a time
+// range. *tsdb.Store satisfies it.
+type History interface {
+	SumOver(name string, match map[string]string, from, to float64) []tsdb.Sample
+}
+
+// rateLookback bounds how far a zero-window rate looks for its previous
+// sample; stallLookback effectively means "all recorded history" (the
+// store's retention is the real bound).
+const (
+	rateLookback  = 3600.0
+	stallLookback = 1e9
+)
+
+// evalRateHistory computes the counter-reset-safe rate over the
+// recorded window: the last Window seconds, or just the last two
+// samples when Window is zero (classic tick-over-tick semantics).
+func (e *Expr) evalRateHistory(hist History, now float64) (val float64, ok bool) {
+	lookback := e.Window
+	if lookback <= 0 {
+		lookback = rateLookback
+	}
+	samples := hist.SumOver(e.Metric, e.Match, now-lookback, now)
+	if e.Window <= 0 && len(samples) > 2 {
+		samples = samples[len(samples)-2:]
+	}
+	inc, elapsed, cok := tsdb.CounterIncrease(samples)
+	if !cok || elapsed <= 0 {
+		return 0, false
+	}
+	return inc / elapsed, true
+}
+
+// stallRunStart scans recorded history backwards for the start of the
+// current flat run. Called once, on a rule's first evaluation — after
+// that the engine tracks changes incrementally (it observes every tick
+// the hub records), keeping steady-state stall evaluation O(1) instead
+// of re-decoding an arbitrarily long flat run each tick.
+func (e *Expr) stallRunStart(hist History, now float64) (float64, bool) {
+	lookback := e.Window
+	if lookback <= 0 {
+		lookback = stallLookback
+	}
+	samples := hist.SumOver(e.Metric, e.Match, now-lookback, now)
+	if len(samples) == 0 {
+		return 0, false
+	}
+	cur := samples[len(samples)-1].V
+	runStart := samples[len(samples)-1].T
+	for i := len(samples) - 2; i >= 0; i-- {
+		if samples[i].V != cur {
+			break
+		}
+		runStart = samples[i].T
+	}
+	return runStart, true
+}
+
 // eval reduces the expression against the fleet at hub time now, using
-// (and updating) the rule's memory. ok is false when the expression
-// abstains this tick.
-func (e *Expr) eval(f *Fleet, st *ruleState, now float64) (val float64, ok bool) {
+// (and updating) the rule's memory. hist, when non-nil, backs rate and
+// stall with recorded multi-tick windows instead of single-tick memory.
+// ok is false when the expression abstains this tick.
+func (e *Expr) eval(f *Fleet, st *ruleState, now float64, hist History) (val float64, ok bool) {
 	switch e.Fn {
 	case "", "value":
 		sel := f.Select(e.Metric, e.Match)
@@ -129,6 +203,9 @@ func (e *Expr) eval(f *Fleet, st *ruleState, now float64) (val float64, ok bool)
 		if len(sel) == 0 {
 			return 0, false
 		}
+		if hist != nil {
+			return e.evalRateHistory(hist, now)
+		}
 		cur := 0.0
 		for _, s := range sel {
 			cur += s.Value
@@ -147,6 +224,22 @@ func (e *Expr) eval(f *Fleet, st *ruleState, now float64) (val float64, ok bool)
 		cur := 0.0
 		for _, s := range sel {
 			cur += s.Value
+		}
+		if hist != nil {
+			switch {
+			case !st.hasPrev:
+				// First evaluation: recover the flat run from recorded
+				// history, so a restarted hub with persisted samples
+				// remembers how long a counter has been wedged.
+				runStart, rok := e.stallRunStart(hist, now)
+				if !rok {
+					runStart = now
+				}
+				st.prevVal, st.hasPrev, st.lastChange = cur, true, runStart
+			case cur != st.prevVal:
+				st.prevVal, st.lastChange = cur, now
+			}
+			return now - st.lastChange, true
 		}
 		if !st.hasPrev || cur != st.prevVal {
 			st.prevVal, st.hasPrev, st.lastChange = cur, true, now
@@ -191,7 +284,7 @@ func (r *Rule) effectiveThreshold(f *Fleet, now float64) (float64, bool) {
 		return r.Threshold, true
 	}
 	var scratch ruleState // derived thresholds use memoryless fns
-	dyn, ok := r.ThresholdExpr.eval(f, &scratch, now)
+	dyn, ok := r.ThresholdExpr.eval(f, &scratch, now, nil)
 	if !ok {
 		// Derived bound unavailable (no observations yet): fall back to
 		// the floor if one is set, otherwise abstain.
@@ -211,11 +304,21 @@ func (r *Rule) effectiveThreshold(f *Fleet, now float64) (float64, bool) {
 type RuleSet struct {
 	Rules  []Rule
 	states []ruleState
+	hist   History
 }
 
 // NewRuleSet wraps rules with fresh engine state.
 func NewRuleSet(rules []Rule) *RuleSet {
 	return &RuleSet{Rules: rules, states: make([]ruleState, len(rules))}
+}
+
+// SetHistory attaches the recorded window rate/stall evaluate against.
+// The hub calls this with its tsdb store; a nil history restores the
+// single-tick memory fallback.
+func (rs *RuleSet) SetHistory(h History) {
+	if rs != nil {
+		rs.hist = h
+	}
 }
 
 // LoadRules parses a JSON rule file: either a bare array of rules or an
@@ -255,6 +358,15 @@ func LoadRules(r io.Reader) (*RuleSet, error) {
 		if rules[i].Expr.Fn == "imbalance" && rules[i].Expr.Over == "" {
 			return nil, fmt.Errorf("health: rule %q: imbalance needs an over label", rules[i].Name)
 		}
+		if w := rules[i].Expr.Window; w < 0 {
+			return nil, fmt.Errorf("health: rule %q: negative window", rules[i].Name)
+		} else if w > 0 {
+			switch rules[i].Expr.Fn {
+			case "rate", "stall":
+			default:
+				return nil, fmt.Errorf("health: rule %q: window only applies to rate/stall", rules[i].Name)
+			}
+		}
 	}
 	return NewRuleSet(rules), nil
 }
@@ -280,14 +392,14 @@ func (rs *RuleSet) Evaluate(f *Fleet, now float64) []Transition {
 		st := &rs.states[i]
 
 		threshold, thrOK := r.effectiveThreshold(f, now)
-		val, ok := r.Expr.eval(f, st, now)
+		val, ok := r.Expr.eval(f, st, now, rs.hist)
 		cond := false
 		if ok && thrOK {
 			cond = exceeds(r.Op, val, threshold)
 		}
 		if r.Gate != nil && cond {
 			var scratch ruleState
-			gv, gok := r.Gate.Expr.eval(f, &scratch, now)
+			gv, gok := r.Gate.Expr.eval(f, &scratch, now, nil)
 			if !gok || !exceeds(r.Gate.Op, gv, r.Gate.Threshold) {
 				cond = false
 			}

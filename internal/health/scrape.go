@@ -1,6 +1,7 @@
 package health
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,21 @@ import (
 // component/instance labels onto whatever the source returns.
 type Source interface {
 	Scrape() ([]Series, error)
+}
+
+// ContextSource is a Source that honours cancellation. The hub prefers
+// it when present, so its per-tick scrape deadline propagates into the
+// endpoint's HTTP request instead of merely abandoning the goroutine.
+type ContextSource interface {
+	ScrapeContext(ctx context.Context) ([]Series, error)
+}
+
+// scrapeSource scrapes src, threading ctx through when it can.
+func scrapeSource(ctx context.Context, src Source) ([]Series, error) {
+	if cs, ok := src.(ContextSource); ok {
+		return cs.ScrapeContext(ctx)
+	}
+	return src.Scrape()
 }
 
 // Endpoint is one scraped component of the fleet.
@@ -43,8 +59,19 @@ var defaultClient = &http.Client{Timeout: 5 * time.Second}
 
 // Scrape fetches and parses /metrics.
 func (s *HTTPSource) Scrape() ([]Series, error) {
+	return s.ScrapeContext(context.Background())
+}
+
+// ScrapeContext is Scrape under a deadline: the request is built with
+// ctx, so the hub's per-tick timeout aborts a hung endpoint mid-dial or
+// mid-body instead of waiting out the client timeout.
+func (s *HTTPSource) ScrapeContext(ctx context.Context) ([]Series, error) {
 	url := strings.TrimRight(s.BaseURL, "/") + "/metrics"
-	resp, err := s.client().Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client().Do(req)
 	if err != nil {
 		return nil, err
 	}

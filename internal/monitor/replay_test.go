@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"lobster/internal/telemetry"
+	"lobster/internal/tsdb"
 )
 
 // TestReplayLogEquivalence writes records through a telemetry event log and
@@ -315,5 +316,100 @@ func TestReplayLogPartialWritePrefixes(t *testing.T) {
 		if got > 0 && !reflect.DeepEqual(m.Records(), live.Records()[:got]) {
 			t.Fatalf("prefix of %d bytes: replayed records are not a prefix of the live DB", cut)
 		}
+	}
+}
+
+// TestReplayLogInterleavedHistoryPlane replays a log shaped like a full
+// production run with the history plane armed: task batches, alert
+// transitions, profile-bundle captures, and the tsdb's segment-rotation
+// markers all interleaved in one stream. Replay must restore every task
+// and alert, skip the rest without error — including under every
+// possible torn-tail byte prefix a crash could leave.
+func TestReplayLogInterleavedHistoryPlane(t *testing.T) {
+	live := New()
+	var liveAlerts []AlertRecord
+	var buf bytes.Buffer
+	log := telemetry.NewEventLog(&buf, nil)
+	const n = 24
+	for i := 0; i < n; i += 4 {
+		batch := make([]TaskRecord, 0, 4)
+		for j := i; j < i+4; j++ {
+			rec := TaskRecord{
+				TaskID: int64(j + 1), Kind: "analysis", Worker: fmt.Sprintf("w%d", j%3),
+				Submit: float64(j), Start: float64(j) + 1, Finish: float64(j) + 9,
+				CPUTime: 4, ExitCode: []int{0, 0, 40, 0}[j%4],
+			}
+			live.Add(rec)
+			batch = append(batch, rec)
+		}
+		log.Emit("task_batch", batch)
+		// Interleave the other planes' event types between batches.
+		switch (i / 4) % 3 {
+		case 0:
+			a := AlertRecord{
+				Time: float64(i), Rule: "stuck_tasks", Severity: "page",
+				State: "firing", Value: float64(i) * 10, Threshold: 300,
+				Profile: fmt.Sprintf("profiles/bundle-%06d", i),
+			}
+			liveAlerts = append(liveAlerts, a)
+			log.Emit("alert", a)
+		case 1:
+			log.Emit("profile_bundle", map[string]any{
+				"dir": fmt.Sprintf("profiles/bundle-%06d", i), "rule": "stuck_tasks",
+				"profiles": []string{"cpu.pprof", "heap.pprof", "goroutine.pprof"},
+			})
+		case 2:
+			log.Emit("tsdb_segment", tsdb.SegmentEvent{
+				Seq: i / 4, Path: fmt.Sprintf("tsdb/seg-%06d.tsdb", i/4), Size: 4 << 20,
+			})
+		}
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := New()
+	got, err := rebuilt.ReplayLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("replayed %d task records, want %d", got, n)
+	}
+	if !reflect.DeepEqual(live.Records(), rebuilt.Records()) {
+		t.Error("replayed records differ from live records")
+	}
+	if !reflect.DeepEqual(liveAlerts, rebuilt.Alerts()) {
+		t.Errorf("replayed alerts differ: live=%+v rebuilt=%+v", liveAlerts, rebuilt.Alerts())
+	}
+
+	// Crash-recovery sweep: every byte prefix must replay cleanly, and
+	// what it restores must be a prefix of the full history — tasks and
+	// alerts both monotone in the cut point, never an error, never a
+	// half-parsed record.
+	full := buf.Bytes()
+	prevTasks, prevAlerts := 0, 0
+	for cut := 0; cut <= len(full); cut++ {
+		m := New()
+		nt, err := m.ReplayLog(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("prefix of %d bytes: %v", cut, err)
+		}
+		na := len(m.Alerts())
+		if nt < prevTasks || na < prevAlerts {
+			t.Fatalf("prefix of %d bytes lost ground: tasks %d<%d or alerts %d<%d",
+				cut, nt, prevTasks, na, prevAlerts)
+		}
+		prevTasks, prevAlerts = nt, na
+		if nt > 0 && !reflect.DeepEqual(m.Records(), live.Records()[:nt]) {
+			t.Fatalf("prefix of %d bytes: tasks are not a prefix of the live DB", cut)
+		}
+		if na > 0 && !reflect.DeepEqual(m.Alerts(), liveAlerts[:na]) {
+			t.Fatalf("prefix of %d bytes: alerts are not a prefix of the live history", cut)
+		}
+	}
+	if prevTasks != n || prevAlerts != len(liveAlerts) {
+		t.Fatalf("full log replayed %d/%d tasks, %d/%d alerts",
+			prevTasks, n, prevAlerts, len(liveAlerts))
 	}
 }

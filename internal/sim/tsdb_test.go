@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"lobster/internal/health"
+	"lobster/internal/telemetry"
+	"lobster/internal/tsdb"
+)
+
+// tsdbRun is healthRun with the hub's history store exposed: the Figure
+// 11 run scraped on the simulated clock, every merged tick appended to
+// the embedded tsdb.
+func tsdbRun(t *testing.T, cfg BigRunConfig, interval float64) (*BigRunResult, *health.Hub) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+
+	now := 0.0
+	hub := health.NewHub(health.Config{
+		Endpoints: []health.Endpoint{
+			{Name: "sim", Component: "master", Source: &health.RegistrySource{Reg: reg}},
+		},
+		Rules: health.NewRuleSet(health.DefaultRules()),
+		Clock: func() float64 { return now },
+	})
+	cfg.HealthInterval = interval
+	cfg.HealthTick = func(simNow float64) {
+		now = simNow
+		hub.Tick()
+	}
+	res, err := RunBig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, hub
+}
+
+// TestGoldenBigRunRampQuery pins the Figure 5 ramp reconstructed from
+// history: the worker ramp (pilots up) and the dispatch rate, queried
+// back out of the tsdb the hub recorded during the run. Two golden
+// properties: the run's physics stay bit-identical to the pre-tsdb
+// kernel (recording reads the registry and never touches the RNG), and
+// the query results are pinned to the exact float — same compression
+// round-trip, same counter-reset handling, same step alignment, every
+// time.
+func TestGoldenBigRunRampQuery(t *testing.T) {
+	res, hub := tsdbRun(t, SimRunConfig(0.05), 60)
+	if res.TasksDone != 1860 || res.TasksFailed != 383 || res.Evictions != 41 ||
+		res.WANBytes != 0 || res.ChirpBytes != 107303801934.7655 || res.PeakCores != 1000 {
+		t.Errorf("tsdb-recorded run diverged from golden: done=%d failed=%d evict=%d wan=%.17g chirp=%.17g peak=%d",
+			res.TasksDone, res.TasksFailed, res.Evictions, res.WANBytes, res.ChirpBytes, res.PeakCores)
+	}
+	st := hub.Store()
+
+	eval := func(expr string, start, end, step float64) []string {
+		t.Helper()
+		q, err := tsdb.ParseQuery(expr)
+		if err != nil {
+			t.Fatalf("parse %q: %v", expr, err)
+		}
+		rs := st.EvalRange(q, start, end, step)
+		if len(rs) != 1 {
+			t.Fatalf("%q returned %d series, want 1", expr, len(rs))
+		}
+		out := make([]string, 0, len(rs[0].Samples))
+		for _, s := range rs[0].Samples {
+			out = append(out, fmt.Sprintf("%g:%.17g", s.T, s.V))
+		}
+		return out
+	}
+
+	// Fig 5: worker ramp — pilots up, averaged over 10-minute windows,
+	// one point per half hour of simulated time.
+	ramp := eval(`avg_over_time(lobster_cluster_pilots_up[600])`, 1800, 23400, 1800)
+	wantRamp := []string{
+		"1800:100.09999999999999", "3600:124", "5400:124.8", "7200:124.5",
+		"9000:125", "10800:125", "12600:122.40000000000001", "14400:125",
+		"16200:123.90000000000001", "18000:124.09999999999999", "19800:123.7",
+		"21600:124.8", "23400:122.5",
+	}
+	pin(t, "ramp", ramp, wantRamp)
+
+	// Fig 5 companion: dispatch throughput over the same grid, via the
+	// counter-reset-safe rate shared with the alert rules.
+	disp := eval(`sum(rate(lobster_wq_dispatches_total[1800]))`, 3600, 21600, 3600)
+	wantDisp := []string{
+		"3600:0.022988505747126436", "7200:0.0045977011494252873",
+		"10800:0.0045977011494252873", "14400:0.022988505747126436",
+		"18000:0.029885057471264367", "21600:0.089080459770114945",
+	}
+	pin(t, "dispatch rate", disp, wantDisp)
+}
+
+func pin(t *testing.T, name string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d\ngot: %q", name, len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s[%d] = %q, want %q", name, i, got[i], want[i])
+		}
+	}
+}

@@ -156,3 +156,33 @@ func Series(times, values []float64, width int, timeUnit string, scale float64) 
 	}
 	return Bars(labels, values, width)
 }
+
+// sparkRunes are the eight block heights Spark maps values onto.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders a numeric series as a one-line unicode sparkline, each
+// value scaled between the series' min and max. A flat series renders
+// at mid-height; an empty one renders empty.
+func Spark(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}

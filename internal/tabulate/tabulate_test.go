@@ -99,3 +99,22 @@ func TestSeries(t *testing.T) {
 		t.Errorf("time labels missing:\n%s", out)
 	}
 }
+
+func TestSpark(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want string
+	}{
+		{nil, ""},
+		{[]float64{5}, "▅"},         // flat → mid-height
+		{[]float64{3, 3, 3}, "▅▅▅"}, // flat run
+		{[]float64{0, 1, 2, 3, 4, 5, 6, 7}, "▁▂▃▄▅▆▇█"}, // full ramp
+		{[]float64{7, 0}, "█▁"},
+		{[]float64{-1, 0, 1}, "▁▄█"}, // negatives scale too
+	}
+	for _, c := range cases {
+		if got := Spark(c.in); got != c.want {
+			t.Errorf("Spark(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package tsdb
+
+import "encoding/binary"
+
+// Bit-level primitives for the Gorilla block codec. The writer packs
+// MSB-first into a fixed-capacity byte slice the block owns; callers
+// reserve worst-case space before appending a sample, so writes never
+// bound-check per bit. The reader keeps a 64-bit cache refilled
+// bytewise, so the common one-bit and few-bit reads are a shift and a
+// subtract — this is the hot loop of every range query.
+
+// bitWriter appends bits to buf. The caller guarantees capacity.
+type bitWriter struct {
+	buf []byte
+	n   int // bits written
+}
+
+// writeBit appends a single bit.
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.n&7 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit != 0 {
+		w.buf[w.n>>3] |= 1 << (7 - uint(w.n&7))
+	}
+	w.n++
+}
+
+// writeBits appends the low nbits of v, MSB first. nbits <= 64.
+func (w *bitWriter) writeBits(v uint64, nbits uint) {
+	if nbits < 64 {
+		v &= (1 << nbits) - 1
+	}
+	for nbits > 0 {
+		free := 8 - uint(w.n&7)
+		if free == 8 {
+			w.buf = append(w.buf, 0)
+		}
+		take := free
+		if nbits < take {
+			take = nbits
+		}
+		chunk := byte(v >> (nbits - take))
+		w.buf[w.n>>3] |= chunk << (free - take)
+		w.n += int(take)
+		nbits -= take
+	}
+}
+
+// bitReader consumes bits from buf via a top-aligned 64-bit cache.
+type bitReader struct {
+	buf   []byte
+	pos   int    // next byte to load into the cache
+	cache uint64 // top-aligned pending bits
+	bits  uint   // valid bits in cache
+	err   bool   // ran past the end
+}
+
+func newBitReader(buf []byte) bitReader {
+	return bitReader{buf: buf}
+}
+
+func (r *bitReader) refill() {
+	if r.pos+8 <= len(r.buf) {
+		// Bulk path: splice in as many whole bytes as fit, one load.
+		w := binary.BigEndian.Uint64(r.buf[r.pos:])
+		take := (64 - r.bits) &^ 7
+		w &= ^uint64(0) << (64 - take)
+		r.cache |= w >> r.bits
+		r.bits += take
+		r.pos += int(take >> 3)
+		return
+	}
+	for r.bits <= 56 && r.pos < len(r.buf) {
+		r.cache |= uint64(r.buf[r.pos]) << (56 - r.bits)
+		r.bits += 8
+		r.pos++
+	}
+}
+
+// readBits reads nbits (<= 56) MSB-first. On overrun it sets err and
+// returns 0; decoders check err once per sample, not per read.
+func (r *bitReader) readBits(nbits uint) uint64 {
+	if r.bits < nbits {
+		r.refill()
+		if r.bits < nbits {
+			r.err = true
+			r.bits = 0
+			return 0
+		}
+	}
+	v := r.cache >> (64 - nbits)
+	r.cache <<= nbits
+	r.bits -= nbits
+	return v
+}
+
+// readBit reads one bit.
+func (r *bitReader) readBit() uint64 {
+	return r.readBits(1)
+}
+
+// read64 reads a full 64-bit word.
+func (r *bitReader) read64() uint64 {
+	hi := r.readBits(32)
+	lo := r.readBits(32)
+	return hi<<32 | lo
+}

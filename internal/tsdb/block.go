@@ -1,0 +1,195 @@
+package tsdb
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Gorilla-style sample compression (Pelkonen et al., VLDB 2015), the
+// scheme Prometheus and M3 adapted: timestamps as delta-of-delta with
+// variable-width buckets, values as XOR against the previous value with
+// leading/trailing-zero windows. Timestamps are kept as integer
+// milliseconds so the regular scrape cadences the hub produces (5 s
+// wall, 60 s simulated) collapse to one bit per sample, and float64
+// values round-trip bit-exactly — the sim goldens depend on it.
+//
+// A block is a fixed-capacity byte buffer. The first sample is stored
+// raw (64-bit timestamp + 64-bit value); every later sample costs
+// 2 bits at steady state (dod == 0, value unchanged). Appends reserve
+// worst-case space (~19 bytes) before encoding, so a block seals while
+// it still has room and the encoder never bound-checks mid-sample.
+
+// maxSampleBits is the worst-case encoded size of one sample:
+// timestamp control+payload (4+64) plus value control+windows+payload
+// (2+5+6+64), rounded up.
+const maxSampleBits = 152
+
+// block is one in-progress compressed run of a single series.
+type block struct {
+	w                 bitWriter
+	n                 int   // samples encoded
+	tFirst            int64 // ms
+	tLast             int64
+	tDelta            int64
+	vLast             uint64
+	leading, trailing uint8
+}
+
+// reset re-arms the block around buf (sliced empty, capacity kept).
+func (b *block) reset(buf []byte) {
+	b.w = bitWriter{buf: buf[:0]}
+	b.n = 0
+	b.tFirst, b.tLast, b.tDelta = 0, 0, 0
+	b.vLast = 0
+	b.leading, b.trailing = 0xff, 0
+}
+
+// room reports whether another worst-case sample fits.
+func (b *block) room() bool {
+	return b.w.n+maxSampleBits <= cap(b.w.buf)*8
+}
+
+// append encodes one (timestamp, value) pair. The caller has checked
+// room().
+func (b *block) append(t int64, v float64) {
+	vb := math.Float64bits(v)
+	if b.n == 0 {
+		b.w.writeBits(uint64(t)>>32, 32)
+		b.w.writeBits(uint64(t), 32)
+		b.w.writeBits(vb>>32, 32)
+		b.w.writeBits(vb, 32)
+		b.tFirst, b.tLast, b.vLast = t, t, vb
+		b.n++
+		return
+	}
+
+	// Timestamp: delta-of-delta with Prometheus' bucket widths.
+	delta := t - b.tLast
+	dod := delta - b.tDelta
+	switch {
+	case dod == 0:
+		b.w.writeBit(0)
+	case dod >= -8191 && dod <= 8192:
+		b.w.writeBits(0b10, 2)
+		b.w.writeBits(uint64(dod+8191), 14)
+	case dod >= -65535 && dod <= 65536:
+		b.w.writeBits(0b110, 3)
+		b.w.writeBits(uint64(dod+65535), 17)
+	case dod >= -524287 && dod <= 524288:
+		b.w.writeBits(0b1110, 4)
+		b.w.writeBits(uint64(dod+524287), 20)
+	default:
+		b.w.writeBits(0b1111, 4)
+		b.w.writeBits(uint64(dod)>>32, 32)
+		b.w.writeBits(uint64(dod), 32)
+	}
+	b.tDelta, b.tLast = delta, t
+
+	// Value: XOR against the previous sample.
+	xor := vb ^ b.vLast
+	b.vLast = vb
+	switch {
+	case xor == 0:
+		b.w.writeBit(0)
+	default:
+		b.w.writeBit(1)
+		leading := uint8(bits.LeadingZeros64(xor))
+		if leading > 31 {
+			leading = 31 // 5-bit field
+		}
+		trailing := uint8(bits.TrailingZeros64(xor))
+		if b.leading != 0xff && leading >= b.leading && trailing >= b.trailing {
+			// Fits the previous meaningful-bit window: reuse it.
+			b.w.writeBit(0)
+			b.w.writeBits(xor>>b.trailing, uint(64-b.leading-b.trailing))
+		} else {
+			b.leading, b.trailing = leading, trailing
+			mbits := uint(64 - leading - trailing)
+			b.w.writeBit(1)
+			b.w.writeBits(uint64(leading), 5)
+			b.w.writeBits(uint64(mbits&63), 6) // 64 encodes as 0
+			b.w.writeBits(xor>>trailing, mbits)
+		}
+	}
+	b.n++
+}
+
+// bytes returns the encoded payload (aliasing the block's buffer).
+func (b *block) bytes() []byte { return b.w.buf }
+
+// blockIter decodes a block payload holding n samples.
+type blockIter struct {
+	r bitReader
+	n int
+	i int
+
+	t                 int64
+	tDelta            int64
+	v                 uint64
+	leading, trailing uint8
+}
+
+func newBlockIter(buf []byte, n int) blockIter {
+	return blockIter{r: newBitReader(buf), n: n}
+}
+
+// next decodes the next sample. Returns ok=false at the end of the
+// block or on a corrupt payload (truncated mid-sample).
+func (it *blockIter) next() (t int64, v float64, ok bool) {
+	if it.i >= it.n {
+		return 0, 0, false
+	}
+	if it.i == 0 {
+		it.t = int64(it.r.read64())
+		it.v = it.r.read64()
+		if it.r.err {
+			return 0, 0, false
+		}
+		it.i++
+		return it.t, math.Float64frombits(it.v), true
+	}
+
+	// Timestamp.
+	var dod int64
+	if it.r.readBit() == 0 {
+		// dod == 0
+	} else if it.r.readBit() == 0 {
+		dod = int64(it.r.readBits(14)) - 8191
+	} else if it.r.readBit() == 0 {
+		dod = int64(it.r.readBits(17)) - 65535
+	} else if it.r.readBit() == 0 {
+		dod = int64(it.r.readBits(20)) - 524287
+	} else {
+		dod = int64(it.r.read64())
+	}
+	it.tDelta += dod
+	it.t += it.tDelta
+
+	// Value.
+	if it.r.readBit() != 0 {
+		if it.r.readBit() != 0 {
+			it.leading = uint8(it.r.readBits(5))
+			mbits := uint8(it.r.readBits(6))
+			if mbits == 0 {
+				mbits = 64
+			}
+			if int(it.leading)+int(mbits) > 64 {
+				return 0, 0, false // corrupt window
+			}
+			it.trailing = 64 - it.leading - mbits
+		}
+		mbits := uint(64 - it.leading - it.trailing)
+		var xor uint64
+		if mbits > 32 {
+			xor = it.r.readBits(mbits-32)<<32 | it.r.readBits(32)
+		} else {
+			xor = it.r.readBits(mbits)
+		}
+		it.v ^= xor << it.trailing
+	}
+	if it.r.err {
+		return 0, 0, false
+	}
+	it.i++
+	return it.t, math.Float64frombits(it.v), true
+}

@@ -1,0 +1,88 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// QueryHandler serves GET /query?q=<expr>&start=<sec>&end=<sec>&step=<sec>
+// as JSON — the fleet hub mounts it next to /status so recorded history
+// is scriptable with curl. Defaults: end = newest sample, start =
+// end-3600, step = 60.
+func (s *Store) QueryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		expr := r.URL.Query().Get("q")
+		if expr == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		q, err := ParseQuery(expr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		end, ok := floatParam(r, "end", s.MaxTime())
+		if !ok {
+			http.Error(w, "bad end", http.StatusBadRequest)
+			return
+		}
+		start, ok := floatParam(r, "start", end-3600)
+		if !ok {
+			http.Error(w, "bad start", http.StatusBadRequest)
+			return
+		}
+		step, ok := floatParam(r, "step", 60)
+		if !ok || step <= 0 {
+			http.Error(w, "bad step", http.StatusBadRequest)
+			return
+		}
+		res := s.EvalRange(q, start, end, step)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(QueryResponse{Query: expr, Start: start, End: end, Step: step, Series: toWire(res)})
+	})
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// QueryResponse is the JSON shape of GET /query.
+type QueryResponse struct {
+	Query  string       `json:"query"`
+	Start  float64      `json:"start"`
+	End    float64      `json:"end"`
+	Step   float64      `json:"step"`
+	Series []WireSeries `json:"series"`
+}
+
+// WireSeries flattens samples into [t, v] pairs for compact JSON.
+type WireSeries struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points [][2]float64      `json:"points"`
+}
+
+func toWire(in []SeriesResult) []WireSeries {
+	out := make([]WireSeries, len(in))
+	for i, sr := range in {
+		pts := make([][2]float64, len(sr.Samples))
+		for j, p := range sr.Samples {
+			pts[j] = [2]float64{p.T, p.V}
+		}
+		out[i] = WireSeries{Name: sr.Name, Labels: sr.Labels, Points: pts}
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Query layer: a deliberately small PromQL-shaped grammar —
+//
+//	metric{k="v",...}
+//	rate(metric{...}[300])
+//	increase(metric{...}[300])
+//	avg_over_time(metric{...}[300])
+//	quantile_over_time(0.99, metric{...}[300])
+//	sum(<any of the above>)
+//
+// Windows are in seconds. Range evaluation is step-aligned: each output
+// point at time T looks back over (T-window, T]. rate/increase share
+// the counter-reset-safe accumulation the health rules use, so a query
+// over the store and a firing rule agree on the same numbers.
+
+// CounterIncrease returns the reset-safe increase over the window and
+// the elapsed seconds between first and last sample. A counter reset
+// (value drops) contributes the post-reset value, matching Prometheus:
+// the counter restarted from zero, so everything accumulated since the
+// reset counts.
+func CounterIncrease(samples []Sample) (inc, elapsed float64, ok bool) {
+	if len(samples) < 2 {
+		return 0, 0, false
+	}
+	prev := samples[0].V
+	for _, p := range samples[1:] {
+		if p.V >= prev {
+			inc += p.V - prev
+		} else {
+			inc += p.V
+		}
+		prev = p.V
+	}
+	return inc, samples[len(samples)-1].T - samples[0].T, true
+}
+
+// Query is a parsed expression.
+type Query struct {
+	Metric string
+	Match  map[string]string
+	Fn     string  // "", "rate", "increase", "avg_over_time", "quantile_over_time"
+	Window float64 // seconds; required when Fn != ""
+	Q      float64 // quantile parameter
+	Sum    bool    // wrap in sum() across matching series
+}
+
+// ParseQuery parses the query grammar above.
+func ParseQuery(s string) (*Query, error) {
+	q := &Query{Match: map[string]string{}}
+	s = strings.TrimSpace(s)
+
+	if rest, ok := strings.CutPrefix(s, "sum("); ok {
+		if !strings.HasSuffix(rest, ")") {
+			return nil, fmt.Errorf("tsdb: unclosed sum( in %q", s)
+		}
+		q.Sum = true
+		s = strings.TrimSpace(strings.TrimSuffix(rest, ")"))
+	}
+
+	for _, fn := range []string{"rate", "increase", "avg_over_time", "quantile_over_time"} {
+		if rest, ok := strings.CutPrefix(s, fn+"("); ok {
+			if !strings.HasSuffix(rest, ")") {
+				return nil, fmt.Errorf("tsdb: unclosed %s( in %q", fn, s)
+			}
+			q.Fn = fn
+			s = strings.TrimSpace(strings.TrimSuffix(rest, ")"))
+			break
+		}
+	}
+	if q.Fn == "quantile_over_time" {
+		i := strings.IndexByte(s, ',')
+		if i < 0 {
+			return nil, fmt.Errorf("tsdb: quantile_over_time wants (q, metric[window])")
+		}
+		qv, err := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+		if err != nil || qv < 0 || qv > 1 {
+			return nil, fmt.Errorf("tsdb: bad quantile %q", s[:i])
+		}
+		q.Q = qv
+		s = strings.TrimSpace(s[i+1:])
+	}
+
+	// Trailing [window].
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("tsdb: unclosed [ in %q", s)
+		}
+		w, err := parseWindow(s[i+1 : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		q.Window = w
+		s = strings.TrimSpace(s[:i])
+	}
+	if q.Fn != "" && q.Window <= 0 {
+		return nil, fmt.Errorf("tsdb: %s needs a [window]", q.Fn)
+	}
+
+	// metric{k="v",...}
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		if !strings.HasSuffix(s, "}") {
+			return nil, fmt.Errorf("tsdb: unclosed { in %q", s)
+		}
+		for _, pair := range splitMatchers(s[i+1 : len(s)-1]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return nil, fmt.Errorf("tsdb: bad matcher %q", pair)
+			}
+			k = strings.TrimSpace(k)
+			v = strings.TrimSpace(v)
+			if uv, err := strconv.Unquote(v); err == nil {
+				v = uv
+			}
+			if k == "" {
+				return nil, fmt.Errorf("tsdb: bad matcher %q", pair)
+			}
+			q.Match[k] = v
+		}
+		s = strings.TrimSpace(s[:i])
+	}
+	if s == "" || strings.ContainsAny(s, " (){}[]") {
+		return nil, fmt.Errorf("tsdb: bad metric name %q", s)
+	}
+	q.Metric = s
+	return q, nil
+}
+
+// parseWindow accepts bare seconds ("300") or a duration suffix
+// ("5m", "1h", "30s").
+func parseWindow(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		mult, s = 0.001, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 60, s[:len(s)-1]
+	case strings.HasSuffix(s, "h"):
+		mult, s = 3600, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("tsdb: bad window %q", s)
+	}
+	return v * mult, nil
+}
+
+// splitMatchers splits on commas outside quotes.
+func splitMatchers(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				if p := strings.TrimSpace(s[start:i]); p != "" {
+					out = append(out, p)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+// EvalRange evaluates q at each step-aligned instant in [start, end]
+// (seconds). Instants are aligned down to multiples of step so the same
+// wall range always lands on the same grid — goldens depend on it.
+func (s *Store) EvalRange(q *Query, start, end, step float64) []SeriesResult {
+	if s == nil || q == nil || step <= 0 || end < start {
+		return nil
+	}
+	alignedStart := math.Floor(start/step) * step
+	if alignedStart < start {
+		alignedStart += step
+	}
+	// Pull each matching series once, over the widest window needed.
+	lookback := q.Window
+	if lookback <= 0 {
+		lookback = step
+	}
+	sel := s.Select(q.Metric, q.Match, start-lookback, end)
+	out := make([]SeriesResult, 0, len(sel))
+	for _, sr := range sel {
+		samples := evalSeries(q, sr.Samples, alignedStart, end, step)
+		if len(samples) == 0 {
+			continue
+		}
+		out = append(out, SeriesResult{Name: sr.Name, Labels: sr.Labels, Samples: samples})
+	}
+	if q.Sum && len(out) > 1 {
+		out = []SeriesResult{sumResults(q.Metric, out)}
+	} else if q.Sum && len(out) == 1 {
+		out[0].Labels = nil
+	}
+	return out
+}
+
+// evalSeries computes the windowed function over one series with two
+// monotone indices — O(len(samples) + steps) for the whole range.
+func evalSeries(q *Query, samples []Sample, start, end, step float64) []Sample {
+	if len(samples) == 0 {
+		return nil
+	}
+	var out []Sample
+	lo, hi := 0, 0
+	window := q.Window
+	if window <= 0 {
+		window = step
+	}
+	const eps = 1e-9
+	for t := start; t <= end+eps; t += step {
+		for hi < len(samples) && samples[hi].T <= t+eps {
+			hi++
+		}
+		for lo < hi && samples[lo].T <= t-window+eps {
+			lo++
+		}
+		win := samples[lo:hi]
+		if len(win) == 0 {
+			continue
+		}
+		v, ok := applyFn(q, win)
+		if !ok {
+			continue
+		}
+		out = append(out, Sample{T: t, V: v})
+	}
+	return out
+}
+
+func applyFn(q *Query, win []Sample) (float64, bool) {
+	switch q.Fn {
+	case "":
+		return win[len(win)-1].V, true // instant: latest in lookback
+	case "rate":
+		inc, elapsed, ok := CounterIncrease(win)
+		if !ok || elapsed <= 0 {
+			return 0, false
+		}
+		return inc / elapsed, true
+	case "increase":
+		inc, _, ok := CounterIncrease(win)
+		return inc, ok
+	case "avg_over_time":
+		sum := 0.0
+		for _, p := range win {
+			sum += p.V
+		}
+		return sum / float64(len(win)), true
+	case "quantile_over_time":
+		vals := make([]float64, len(win))
+		for i, p := range win {
+			vals[i] = p.V
+		}
+		sort.Float64s(vals)
+		if len(vals) == 1 {
+			return vals[0], true
+		}
+		rank := q.Q * float64(len(vals)-1)
+		i := int(math.Floor(rank))
+		if i >= len(vals)-1 {
+			return vals[len(vals)-1], true
+		}
+		frac := rank - float64(i)
+		return vals[i] + frac*(vals[i+1]-vals[i]), true
+	}
+	return 0, false
+}
+
+// sumResults adds aligned series samplewise (they share the step grid).
+func sumResults(name string, in []SeriesResult) SeriesResult {
+	sums := make(map[int64]float64)
+	for _, sr := range in {
+		for _, p := range sr.Samples {
+			sums[ms(p.T)] += p.V
+		}
+	}
+	samples := make([]Sample, 0, len(sums))
+	for t, v := range sums {
+		samples = append(samples, Sample{T: sec(t), V: v})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].T < samples[j].T })
+	return SeriesResult{Name: name, Samples: samples}
+}

@@ -1,0 +1,203 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseQuery(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Query
+		err  bool
+	}{
+		{in: "metric", want: Query{Metric: "metric"}},
+		{in: `m{inst="a"}`, want: Query{Metric: "m", Match: map[string]string{"inst": "a"}}},
+		{in: `m{a="1", b="2"}`, want: Query{Metric: "m", Match: map[string]string{"a": "1", "b": "2"}}},
+		{in: "rate(m[300])", want: Query{Metric: "m", Fn: "rate", Window: 300}},
+		{in: "rate(m[5m])", want: Query{Metric: "m", Fn: "rate", Window: 300}},
+		{in: "increase(m[1h])", want: Query{Metric: "m", Fn: "increase", Window: 3600}},
+		{in: `avg_over_time(m{x="y"}[60])`, want: Query{Metric: "m", Fn: "avg_over_time", Window: 60, Match: map[string]string{"x": "y"}}},
+		{in: "quantile_over_time(0.99, m[60])", want: Query{Metric: "m", Fn: "quantile_over_time", Q: 0.99, Window: 60}},
+		{in: "sum(rate(m[300]))", want: Query{Metric: "m", Fn: "rate", Window: 300, Sum: true}},
+		{in: "sum(m)", want: Query{Metric: "m", Sum: true}},
+		{in: "rate(m)", err: true},
+		{in: "rate(m[0])", err: true},
+		{in: "quantile_over_time(m[60])", err: true},
+		{in: "quantile_over_time(1.5, m[60])", err: true},
+		{in: "", err: true},
+		{in: "m{unclosed", err: true},
+		{in: "bogus(m[60])", err: true},
+	}
+	for _, tc := range cases {
+		q, err := ParseQuery(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("%q: want error, got %+v", tc.in, q)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if q.Metric != tc.want.Metric || q.Fn != tc.want.Fn || q.Window != tc.want.Window ||
+			q.Q != tc.want.Q || q.Sum != tc.want.Sum {
+			t.Errorf("%q: got %+v want %+v", tc.in, q, tc.want)
+		}
+		for k, v := range tc.want.Match {
+			if q.Match[k] != v {
+				t.Errorf("%q: match[%s]=%q want %q", tc.in, k, q.Match[k], v)
+			}
+		}
+	}
+}
+
+func TestEvalRangeRate(t *testing.T) {
+	s := New(Config{})
+	// Counter climbing 2/sec, sampled every 5 s.
+	fill(s, "c", nil, genSamples(100, 0, 5, func(i int) float64 { return float64(10 * i) }))
+	q, err := ParseQuery("rate(c[30])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.EvalRange(q, 50, 400, 10)
+	if len(res) != 1 {
+		t.Fatalf("series: %d", len(res))
+	}
+	for _, p := range res[0].Samples {
+		if math.Abs(p.V-2) > 1e-9 {
+			t.Fatalf("rate at t=%v: %v want 2", p.T, p.V)
+		}
+		if math.Mod(p.T, 10) != 0 {
+			t.Fatalf("point at t=%v not step-aligned", p.T)
+		}
+	}
+}
+
+func TestEvalRangeRateCounterReset(t *testing.T) {
+	s := New(Config{})
+	// Counter resets at t=50: 0,10,...,40 then restarts 2,12,22...
+	for i := 0; i < 5; i++ {
+		s.Append("c", nil, float64(i*10), float64(i*10))
+	}
+	for i := 0; i < 5; i++ {
+		s.Append("c", nil, float64(50+i*10), float64(2+i*10))
+	}
+	q, _ := ParseQuery("increase(c[100])")
+	res := s.EvalRange(q, 90, 90, 10)
+	if len(res) != 1 || len(res[0].Samples) != 1 {
+		t.Fatalf("res: %+v", res)
+	}
+	// 0→40 gains 40, reset contributes post-reset 2, then 2→42 gains 40.
+	if got := res[0].Samples[0].V; got != 82 {
+		t.Fatalf("increase across reset: %v want 82", got)
+	}
+}
+
+func TestEvalRangeSum(t *testing.T) {
+	s := New(Config{})
+	fill(s, "c", map[string]string{"i": "a"}, genSamples(20, 0, 5, func(i int) float64 { return float64(5 * i) }))
+	fill(s, "c", map[string]string{"i": "b"}, genSamples(20, 0, 5, func(i int) float64 { return float64(15 * i) }))
+	q, _ := ParseQuery("sum(rate(c[20]))")
+	res := s.EvalRange(q, 40, 80, 20)
+	if len(res) != 1 {
+		t.Fatalf("sum should yield one series, got %d", len(res))
+	}
+	for _, p := range res[0].Samples {
+		if math.Abs(p.V-4) > 1e-9 { // 1/s + 3/s
+			t.Fatalf("sum(rate) at t=%v: %v want 4", p.T, p.V)
+		}
+	}
+}
+
+func TestEvalRangeQuantileAndAvg(t *testing.T) {
+	s := New(Config{})
+	fill(s, "g", nil, []Sample{{0, 1}, {10, 2}, {20, 3}, {30, 4}, {40, 100}})
+	q, _ := ParseQuery("avg_over_time(g[50])")
+	res := s.EvalRange(q, 40, 40, 10)
+	if got := res[0].Samples[0].V; got != 22 {
+		t.Fatalf("avg: %v want 22", got)
+	}
+	q, _ = ParseQuery("quantile_over_time(0.5, g[50])")
+	res = s.EvalRange(q, 40, 40, 10)
+	if got := res[0].Samples[0].V; got != 3 {
+		t.Fatalf("median: %v want 3", got)
+	}
+	q, _ = ParseQuery("quantile_over_time(1, g[50])")
+	res = s.EvalRange(q, 40, 40, 10)
+	if got := res[0].Samples[0].V; got != 100 {
+		t.Fatalf("p100: %v want 100", got)
+	}
+}
+
+func TestQueryHandler(t *testing.T) {
+	s := New(Config{})
+	fill(s, "c", map[string]string{"inst": "a"}, genSamples(100, 0, 5, func(i int) float64 { return float64(i) }))
+	srv := httptest.NewServer(s.QueryHandler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/query?q=rate(c[30])&start=100&end=200&step=25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(res.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Series) != 1 || qr.Series[0].Labels["inst"] != "a" {
+		t.Fatalf("series: %+v", qr.Series)
+	}
+	if len(qr.Series[0].Points) != 5 { // t=100,125,150,175,200
+		t.Fatalf("points: %d want 5", len(qr.Series[0].Points))
+	}
+
+	for _, bad := range []string{"/query", "/query?q=rate(c)", "/query?q=c&step=nope"} {
+		res, err := srv.Client().Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != 400 {
+			t.Fatalf("%s: status %d want 400", bad, res.StatusCode)
+		}
+	}
+}
+
+func TestChartAndCSV(t *testing.T) {
+	s := New(Config{})
+	fill(s, "c", nil, genSamples(60, 0, 10, func(i int) float64 { return float64(i * i) }))
+	res := s.Select("c", nil, 0, 1e9)
+
+	var chart strings.Builder
+	Chart(&chart, "ramp", res[0].Samples, 40, 8)
+	out := chart.String()
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "*") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	if !strings.Contains(out, "t=0s") || !strings.Contains(out, "t=590s") {
+		t.Fatalf("chart footer:\n%s", out)
+	}
+
+	var csv strings.Builder
+	if err := WriteCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "t,c" {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	if len(lines) != 61 {
+		t.Fatalf("csv rows: %d want 61", len(lines))
+	}
+	if lines[3] != "20,4" {
+		t.Fatalf("csv row: %q", lines[3])
+	}
+}

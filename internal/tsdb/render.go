@@ -1,0 +1,147 @@
+package tsdb
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Terminal rendering for `lobster-fleet -plot`: the paper's Fig 5/6
+// ramp curves as an ASCII chart (and CSV for real plotting tools).
+
+// Chart renders samples as a height×width ASCII plot with a y-axis
+// gutter and an x-axis time span footer.
+func Chart(w io.Writer, title string, samples []Sample, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	fmt.Fprintln(w, title)
+	if len(samples) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	lo, hi := samples[0].V, samples[0].V
+	for _, p := range samples {
+		lo, hi = math.Min(lo, p.V), math.Max(hi, p.V)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Bucket samples into columns by time, averaging collisions.
+	t0, t1 := samples[0].T, samples[len(samples)-1].T
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	colSum := make([]float64, width)
+	colN := make([]int, width)
+	for _, p := range samples {
+		c := int(float64(width-1) * (p.T - t0) / span)
+		colSum[c] += p.V
+		colN[c]++
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		if colN[c] == 0 {
+			continue
+		}
+		v := colSum[c] / float64(colN[c])
+		rowf := float64(height-1) * (v - lo) / (hi - lo)
+		row := int(math.Round(rowf))
+		for rr := 0; rr <= row; rr++ {
+			ch := byte(':')
+			if rr == row {
+				ch = '*'
+			}
+			grid[height-1-rr][c] = ch
+		}
+	}
+	gutter := len(fmtAxis(hi))
+	if g := len(fmtAxis(lo)); g > gutter {
+		gutter = g
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmtAxis(hi)
+		case height - 1:
+			label = fmtAxis(lo)
+		}
+		fmt.Fprintf(w, "%*s |%s\n", gutter, label, string(row))
+	}
+	fmt.Fprintf(w, "%*s +%s\n", gutter, "", strings.Repeat("-", width))
+	left := fmt.Sprintf("t=%.0fs", t0)
+	right := fmt.Sprintf("t=%.0fs", t1)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%*s  %s%s%s\n", gutter, "", left, strings.Repeat(" ", pad), right)
+}
+
+func fmtAxis(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// WriteCSV emits "t,<series...>" rows, one column per series, aligned
+// on the union of timestamps (blank cells when a series has no point).
+func WriteCSV(w io.Writer, results []SeriesResult) error {
+	cols := make([]map[int64]float64, len(results))
+	tset := map[int64]struct{}{}
+	header := make([]string, 0, len(results)+1)
+	header = append(header, "t")
+	for i, sr := range results {
+		cols[i] = make(map[int64]float64, len(sr.Samples))
+		for _, p := range sr.Samples {
+			tm := ms(p.T)
+			cols[i][tm] = p.V
+			tset[tm] = struct{}{}
+		}
+		name := sr.Name
+		if lk := labelKey(sr.Labels); lk != "" {
+			name += "{" + strings.TrimSuffix(lk, ",") + "}"
+		}
+		header = append(header, name)
+	}
+	times := make([]int64, 0, len(tset))
+	for t := range tset {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, tm := range times {
+		b.Reset()
+		fmt.Fprintf(&b, "%g", sec(tm))
+		for i := range cols {
+			b.WriteByte(',')
+			if v, ok := cols[i][tm]; ok {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
