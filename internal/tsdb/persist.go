@@ -156,9 +156,12 @@ func (sw *segmentWriter) close() error {
 }
 
 // Open creates a persistent store in cfg.Dir, replaying any existing
-// segments so a restarted hub continues its history. Torn trailing
-// records (crash mid-write) are dropped silently; anything else
-// malformed is an error.
+// segments so a restarted hub continues its history. A torn trailing
+// record in the newest segment (crash mid-write) is dropped and the
+// tear truncated away before the writer reopens the file — otherwise
+// fresh records would land after the torn bytes and vanish on the next
+// replay. Anything malformed in an older, fully-rotated segment is an
+// error: that is mid-history corruption, not a crash artifact.
 func Open(cfg Config) (*Store, error) {
 	cfg.defaults()
 	if cfg.Dir == "" {
@@ -172,9 +175,20 @@ func Open(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, seq := range seqs {
-		if err := s.loadSegment(segPath(cfg.Dir, seq)); err != nil {
+	for i, seq := range seqs {
+		final := i == len(seqs)-1
+		path := segPath(cfg.Dir, seq)
+		valid, err := s.loadSegment(path, final)
+		if err != nil {
 			return nil, err
+		}
+		if !final {
+			continue
+		}
+		if st, err := os.Stat(path); err == nil && st.Size() > valid {
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, fmt.Errorf("tsdb: truncate torn tail: %w", err)
+			}
 		}
 	}
 	last := 0
@@ -211,49 +225,68 @@ func listSegments(dir string) ([]int, error) {
 	return seqs, nil
 }
 
-// loadSegment replays one segment file into the store as sealed blocks.
-func (s *Store) loadSegment(path string) error {
+// loadSegment replays one segment file into the store as sealed blocks
+// and returns the byte offset just past the last valid record. In the
+// final (still-appendable) segment a torn record stops replay at that
+// offset and the caller truncates the tear; older segments were fully
+// flushed before rotation, so a bad record there is mid-history
+// corruption and an error, never a silent gap.
+func (s *Store) loadSegment(path string, final bool) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("tsdb: %w", err)
+		return 0, fmt.Errorf("tsdb: %w", err)
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 64<<10)
 	var lenBuf [4]byte
+	var valid int64
+	torn := func(reason string) (int64, error) {
+		if final {
+			return valid, nil
+		}
+		return valid, fmt.Errorf("tsdb: %s: %s at offset %d (mid-history corruption)", path, reason, valid)
+	}
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			return nil // clean end or torn length prefix
+			if err == io.EOF {
+				return valid, nil // clean end
+			}
+			return torn("torn length prefix")
 		}
 		recLen := binary.BigEndian.Uint32(lenBuf[:])
 		if recLen < 4 || recLen > 64<<20 {
-			return nil // implausible length: torn tail
+			return torn("implausible record length")
 		}
 		rec := make([]byte, recLen)
 		if _, err := io.ReadFull(r, rec); err != nil {
-			return nil // torn record body
+			return torn("torn record body")
 		}
 		body := rec[:len(rec)-4]
 		want := binary.BigEndian.Uint32(rec[len(rec)-4:])
 		if crc32.ChecksumIEEE(body) != want {
-			return nil // torn/corrupt record: stop here
+			return torn("crc mismatch")
 		}
 		if err := s.loadRecord(body); err != nil {
-			return fmt.Errorf("tsdb: %s: %w", path, err)
+			return valid, fmt.Errorf("tsdb: %s: %w", path, err)
 		}
+		valid += 4 + int64(recLen)
 	}
 }
 
 // loadRecord decodes one record body and installs the sealed block.
+// Length fields are compared without addition — a huge uvarint must
+// fail the bound check, not wrap it and panic the slice below (the
+// crc gates accidents, not all corruption).
 func (s *Store) loadRecord(body []byte) error {
 	keyLen, n := binary.Uvarint(body)
-	if n <= 0 || uint64(len(body)) < uint64(n)+keyLen {
+	if n <= 0 || keyLen > uint64(len(body)-n) {
 		return errors.New("bad record key")
 	}
 	body = body[n:]
 	key := string(body[:keyLen])
 	body = body[keyLen:]
 	count, n := binary.Uvarint(body)
-	if n <= 0 || len(body[n:]) < 16 {
+	if n <= 0 || len(body)-n < 16 {
 		return errors.New("bad record header")
 	}
 	body = body[n:]
@@ -261,10 +294,16 @@ func (s *Store) loadRecord(body []byte) error {
 	tLast := int64(binary.BigEndian.Uint64(body[8:]))
 	body = body[16:]
 	payLen, n := binary.Uvarint(body)
-	if n <= 0 || uint64(len(body[n:])) < payLen {
+	if n <= 0 || payLen > uint64(len(body)-n) {
 		return errors.New("bad record payload")
 	}
 	payload := body[n : uint64(n)+payLen]
+	// Samples cost >= 2 bits each after the 16-byte first, so a count
+	// beyond ~4x the payload bytes cannot be real — reject it before it
+	// inflates the store's pre-sized decode buffers.
+	if count == 0 || count > payLen*4+1 {
+		return errors.New("bad record count")
+	}
 
 	name, labels, err := parseSeriesKey(key)
 	if err != nil {

@@ -1,6 +1,9 @@
 package tsdb
 
 import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -105,6 +108,117 @@ func TestPersistTornTail(t *testing.T) {
 		s2.Close()
 	}
 	os.WriteFile(seg, full, 0o644)
+}
+
+// TestPersistAppendAfterTornReopen is the crash-recovery sequence the
+// torn-tail rule exists for: crash tears the segment, the restarted
+// store appends new history, and a second restart must see both the
+// pre-crash prefix and everything written since. Without truncating the
+// tear on open, the new records land after the torn bytes and replay
+// silently drops them all.
+func TestPersistAppendAfterTornReopen(t *testing.T) {
+	ref, _ := Open(Config{Dir: t.TempDir(), BlockBytes: 256})
+	fill(ref, "c", nil, genSamples(300, 0, 5, func(i int) float64 { return float64(i) }))
+	ref.Close()
+	full, err := os.ReadFile(segPath(ref.cfg.Dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{len(full) - 1, len(full) - 11, len(full) / 2, 2} {
+		dir := t.TempDir()
+		if err := os.WriteFile(segPath(dir, 1), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open(Config{Dir: dir, BlockBytes: 256})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		kept := 0
+		if res := s.Select("c", nil, 0, 1e9); len(res) == 1 {
+			kept = len(res[0].Samples)
+		}
+		fill(s, "c", nil, genSamples(100, 5000, 5, func(i int) float64 { return float64(1000 + i) }))
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+
+		s2, err := Open(Config{Dir: dir, BlockBytes: 256})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		res := s2.Select("c", nil, 0, 1e9)
+		if len(res) != 1 {
+			t.Fatalf("cut=%d: %d series after reopen", cut, len(res))
+		}
+		if got := len(res[0].Samples); got != kept+100 {
+			t.Fatalf("cut=%d: %d samples after reopen, want %d kept + 100 appended", cut, got, kept)
+		}
+		for i, p := range res[0].Samples {
+			want := float64(i)
+			if i >= kept {
+				want = float64(1000 + i - kept)
+			}
+			if p.V != want {
+				t.Fatalf("cut=%d: sample %d = %v want %v", cut, i, p.V, want)
+			}
+		}
+		s2.Close()
+	}
+}
+
+// A malformed record in a fully-rotated (non-final) segment is
+// mid-history corruption, not a crash artifact: Open must refuse it
+// rather than silently skip a stretch of history.
+func TestPersistMidHistoryCorruptionErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotations so segment 1 is not the live one.
+	s, err := Open(Config{Dir: dir, BlockBytes: 128, MaxSegBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(s, "c", nil, genSamples(5000, 0, 5, func(i int) float64 { return float64(i) }))
+	s.Close()
+	seqs, _ := listSegments(dir)
+	if len(seqs) < 2 {
+		t.Fatalf("segments: %v, want >= 2", seqs)
+	}
+
+	seg := segPath(dir, seqs[0])
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if s2, err := Open(Config{Dir: dir, BlockBytes: 128, MaxSegBytes: 1024}); err == nil {
+		s2.Close()
+		t.Fatal("mid-history corruption silently tolerated")
+	}
+}
+
+// A crc-valid record whose keyLen uvarint is 2^64-1 must be rejected as
+// corrupt — the bounds check cannot be allowed to wrap and panic.
+func TestPersistHugeKeyLenNoPanic(t *testing.T) {
+	dir := t.TempDir()
+	body := binary.AppendUvarint(nil, math.MaxUint64)
+	body = append(body, "junk"...)
+	rec := append(body, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(rec[len(body):], crc32.ChecksumIEEE(body))
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec)))
+	buf = append(buf, rec...)
+	if err := os.WriteFile(segPath(dir, 1), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := Open(Config{Dir: dir}); err == nil {
+		s.Close()
+		t.Fatal("record with 2^64-1 keyLen accepted")
+	}
 }
 
 func TestPersistCorruptRecordStopsReplay(t *testing.T) {

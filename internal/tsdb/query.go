@@ -226,7 +226,14 @@ func evalSeries(q *Query, samples []Sample, start, end, step float64) []Sample {
 		window = step
 	}
 	const eps = 1e-9
-	for t := start; t <= end+eps; t += step {
+	// Each instant is computed from the step index, not accumulated —
+	// `t += step` drifts off the grid by ~ULP(start) per step, enough to
+	// flip boundary samples between windows after a few thousand steps.
+	for i := 0; ; i++ {
+		t := start + float64(i)*step
+		if t > end+eps {
+			break
+		}
 		for hi < len(samples) && samples[hi].T <= t+eps {
 			hi++
 		}

@@ -134,6 +134,41 @@ func TestEvalRangeQuantileAndAvg(t *testing.T) {
 	}
 }
 
+// TestEvalRangeStepGrid pins the promise EvalRange makes to the
+// goldens: every output instant sits exactly on the aligned step grid.
+// Unix-epoch-scale start times and thousands of sub-second steps are
+// where accumulated `t += step` drifts off the grid (~ULP(1.7e9) per
+// step), so that is what we evaluate here.
+func TestEvalRangeStepGrid(t *testing.T) {
+	s := New(Config{})
+	const start, step = 1.7e9, 0.1
+	const n = 4096
+	fill(s, "g", nil, genSamples(n, start, step, func(i int) float64 { return float64(i) }))
+
+	q, err := ParseQuery("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := start + float64(n-1)*step
+	res := s.EvalRange(q, start, end, step)
+	if len(res) != 1 {
+		t.Fatalf("series: %d", len(res))
+	}
+	alignedStart := math.Floor(start/step) * step
+	if alignedStart < start {
+		alignedStart += step
+	}
+	for i, p := range res[0].Samples {
+		k := math.Round((p.T - alignedStart) / step)
+		if want := alignedStart + k*step; p.T != want {
+			t.Fatalf("output %d: t=%v is off the step grid by %g", i, p.T, p.T-want)
+		}
+	}
+	if got := len(res[0].Samples); got < n-1 {
+		t.Fatalf("outputs: %d, want >= %d", got, n-1)
+	}
+}
+
 func TestQueryHandler(t *testing.T) {
 	s := New(Config{})
 	fill(s, "c", map[string]string{"inst": "a"}, genSamples(100, 0, 5, func(i int) float64 { return float64(i) }))

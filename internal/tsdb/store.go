@@ -253,8 +253,47 @@ func (s *Store) seal(se *memSeries) {
 			}
 		}
 		se.sealed = append(se.sealed[:0], se.sealed[drop:]...)
+		s.recomputeMin()
 	}
 	b.reset(s.blockBuf())
+}
+
+// oldestMs returns the series' oldest still-held timestamp in ms: the
+// older of the rollup ring's head and the first raw sample (the ring
+// head can sit *after* raw coverage when retention hasn't caught up,
+// and before it once it has). MaxInt64 for an empty series. Caller
+// holds s.mu.
+func (se *memSeries) oldestMs() int64 {
+	oldest := int64(math.MaxInt64)
+	if se.ringLen > 0 {
+		oldest = se.ring[se.ringStart].t
+	} else if se.bucketSet {
+		oldest = se.bucket.t
+	}
+	if len(se.sealed) > 0 {
+		if t := se.sealed[0].tFirst; t < oldest {
+			oldest = t
+		}
+	} else if se.active.n > 0 {
+		if t := se.active.tFirst; t < oldest {
+			oldest = t
+		}
+	}
+	return oldest
+}
+
+// recomputeMin re-derives the store-wide oldest timestamp after
+// retention drops blocks, so Stats().MinTime tracks data the store
+// still holds rather than the oldest sample ever appended. Caller
+// holds s.mu.
+func (s *Store) recomputeMin() {
+	min := int64(math.MaxInt64)
+	for _, se := range s.list {
+		if o := se.oldestMs(); o < min {
+			min = o
+		}
+	}
+	s.minMs = min
 }
 
 // rollup folds the sample into the series' coarse bucket, pushing the
@@ -307,7 +346,7 @@ type Stats struct {
 	Samples      int64 // total ever appended
 	Bytes        int64 // compressed bytes held (sealed + active)
 	SealedBlocks int
-	MinTime      float64
+	MinTime      float64 // oldest still-held sample (retention advances it)
 	MaxTime      float64
 }
 

@@ -194,6 +194,31 @@ func TestStoreRetentionAndRollup(t *testing.T) {
 	}
 }
 
+// Once retention drops blocks AND the rollup ring has wrapped past the
+// same region, Stats().MinTime must advance with the surviving data —
+// not keep reporting the timestamp of the first sample ever appended.
+func TestStoreRetentionAdvancesMinTime(t *testing.T) {
+	// 4 ring points x 100 s = 400 s of coarse history: far less than the
+	// hour appended, so t=0 is long gone from both raw and rollup.
+	s := New(Config{Retention: 600, RollupStep: 100, RollupPoints: 4, BlockBytes: 256})
+	fill(s, "m", nil, genSamples(3600, 0, 1, func(i int) float64 { return float64(i) }))
+
+	st := s.Stats()
+	if st.MinTime <= 0 {
+		t.Fatalf("MinTime=%v still reports dropped data", st.MinTime)
+	}
+	res := s.Select("m", nil, 0, 1e9)
+	if len(res) != 1 || len(res[0].Samples) == 0 {
+		t.Fatalf("select: %v", res)
+	}
+	if oldest := res[0].Samples[0].T; st.MinTime > oldest {
+		t.Fatalf("MinTime=%v is newer than still-held sample at %v", st.MinTime, oldest)
+	}
+	if st.MaxTime != 3599 {
+		t.Fatalf("MaxTime=%v", st.MaxTime)
+	}
+}
+
 func TestStoreConcurrency(t *testing.T) {
 	s := New(Config{BlockBytes: 512})
 	var wg sync.WaitGroup
