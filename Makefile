@@ -4,11 +4,11 @@ GO ?= go
 # the whole module runs under the race detector, not just the hot packages.
 RACE_PKGS = ./...
 
-.PHONY: all check vet build test race chaos fuzz bench bench-kernel bench-guard bench-dataplane bench-scale bench-health bench-tsdb
+.PHONY: all check vet build test race chaos chaos-ha fuzz bench bench-kernel bench-guard bench-dataplane bench-scale bench-health bench-tsdb
 
 all: check
 
-check: vet build test race chaos fuzz bench-scale bench-health bench-tsdb
+check: vet build test race chaos chaos-ha fuzz bench-scale bench-health bench-tsdb
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,13 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faultinject/
 
+# Control-plane failover storm: a 5-member replicated master fleet loses
+# its leader twice mid-dispatch (plus replica-transport drops); survivors
+# must elect, replay, and finish with exactly-one terminal outcome per
+# task and byte-identical outputs to a kill-free run (DESIGN.md §14).
+chaos-ha:
+	$(GO) test -race -count=1 -run 'TestChaosHA' ./internal/faultinject/
+
 # Native fuzzing of the wire-facing parsers, 30s per target. Checked-in
 # seed corpora live in each package's testdata/fuzz/.
 FUZZTIME ?= 30s
@@ -40,6 +47,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPromParse -fuzztime $(FUZZTIME) ./internal/health/
 	$(GO) test -fuzz FuzzBlockRoundTrip -fuzztime $(FUZZTIME) ./internal/tsdb/
 	$(GO) test -fuzz FuzzSegmentReplay -fuzztime $(FUZZTIME) ./internal/tsdb/
+	$(GO) test -fuzz FuzzReplicaWire -fuzztime $(FUZZTIME) ./internal/replica/
 
 bench:
 	$(GO) test -bench=Fig -benchmem .

@@ -14,6 +14,7 @@
 //	lobster -fault-plan storm.json ...          # replay a deterministic fault storm
 //	lobster -top http://127.0.0.1:9099          # one-shot status of a live run
 //	lobster -top http://127.0.0.1:9099 -watch   # live bottleneck dashboard
+//	lobster -ha-demo                            # replicated-master failover demo
 package main
 
 import (
@@ -59,6 +60,7 @@ func main() {
 		trRate   = flag.Float64("trace-rate", 0, "head-sampling bound: max new traces sampled per second (0 = all)")
 		fplan    = flag.String("fault-plan", "", "JSON fault plan: inject a deterministic fault storm into the stack")
 		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0 = use the plan's)")
+		haDemoOn = flag.Bool("ha-demo", false, "run the replicated-master failover demo (3 members, leader kill, takeover) and exit")
 		topURL   = flag.String("top", "", "print the status of the lobster at this base URL and exit")
 		watch    = flag.Bool("watch", false, "with -top: refresh continuously instead of one-shot")
 		fleet    = flag.Bool("fleet", false, "with -top: the URL is a lobster-fleet hub; render the merged multi-endpoint view")
@@ -67,6 +69,13 @@ func main() {
 	flag.Parse()
 	if *topURL != "" {
 		if err := top(*topURL, *watch, *fleet, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "lobster:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *haDemoOn {
+		if err := haDemo(*workers, *cores, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "lobster:", err)
 			os.Exit(1)
 		}

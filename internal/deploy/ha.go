@@ -1,0 +1,211 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lobster/internal/faultinject"
+	"lobster/internal/telemetry"
+	"lobster/internal/wq"
+)
+
+// HAOptions configures a replicated control plane with an attached worker
+// fleet — the failover analogue of the single-master Stack.
+type HAOptions struct {
+	Members        int // replicated masters (default 3)
+	Workers        int // HA workers following the leader
+	CoresPerWorker int // default 2
+	ScratchDir     string
+	Seed           uint64
+	Registry       wq.Registry // executor registry for the workers
+
+	Telemetry *telemetry.Registry
+	// EventDir, when non-empty, gives each member a JSONL event log at
+	// EventDir/member-<id>.jsonl carrying its applied entry stream and
+	// election events — the replayable history ReplayLog consumes.
+	EventDir string
+	Fault    *faultinject.Injector
+
+	TickEvery     time.Duration // default 2ms (fast failover in tests)
+	ElectionTicks int
+}
+
+// HACluster is a running replicated control plane.
+type HACluster struct {
+	Masters []*wq.HAMaster // nil slots are killed members
+	Workers []*wq.HAWorker
+	Addrs   []string // worker-facing addresses, by member index
+
+	logs []*telemetry.EventLog
+}
+
+// StartHA starts the members and workers. All members begin as standbys;
+// use WaitLeader to block until the first election settles.
+func StartHA(opts HAOptions) (*HACluster, error) {
+	if opts.Members <= 0 {
+		opts.Members = 3
+	}
+	if opts.CoresPerWorker <= 0 {
+		opts.CoresPerWorker = 2
+	}
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 2 * time.Millisecond
+	}
+	if opts.ElectionTicks <= 0 {
+		opts.ElectionTicks = 10
+	}
+	if opts.ScratchDir == "" {
+		return nil, errors.New("deploy: HA cluster needs a ScratchDir")
+	}
+
+	// Reserve a replication address per member up front: the mesh config
+	// must be complete before the first member starts.
+	peers := make(map[uint64]string, opts.Members)
+	for i := 0; i < opts.Members; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		peers[uint64(i+1)] = l.Addr().String()
+		l.Close()
+	}
+
+	c := &HACluster{}
+	wqAddrs := make(map[uint64]string, opts.Members)
+	for i := 0; i < opts.Members; i++ {
+		id := uint64(i + 1)
+		var evlog *telemetry.EventLog
+		if opts.EventDir != "" {
+			if err := os.MkdirAll(opts.EventDir, 0o755); err != nil {
+				c.Close()
+				return nil, err
+			}
+			path := filepath.Join(opts.EventDir, fmt.Sprintf("member-%d.jsonl", id))
+			start := time.Now()
+			var err error
+			evlog, err = telemetry.OpenEventLog(path, func() float64 {
+				return time.Since(start).Seconds()
+			})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.logs = append(c.logs, evlog)
+		}
+		h, err := wq.StartHAMaster(wq.HAMasterConfig{
+			ID: id, Peers: peers, Addr: "127.0.0.1:0", WQAddrs: wqAddrs,
+			Seed:      opts.Seed,
+			TickEvery: opts.TickEvery, ElectionTicks: opts.ElectionTicks,
+			Registry: opts.Telemetry, EventLog: evlog, Fault: opts.Fault,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Masters = append(c.Masters, h)
+		c.Addrs = append(c.Addrs, h.Addr())
+		wqAddrs[id] = h.Addr()
+	}
+
+	for i := 0; i < opts.Workers; i++ {
+		c.Workers = append(c.Workers, wq.StartHAWorker(wq.HAWorkerConfig{
+			Addrs: c.Addrs, Name: fmt.Sprintf("ha-worker-%d", i),
+			Cores: opts.CoresPerWorker,
+			Dir:   filepath.Join(opts.ScratchDir, fmt.Sprintf("worker-%d", i)),
+			Reg:   opts.Registry,
+			Opts:  wq.WorkerOptions{Fault: opts.Fault},
+		}))
+	}
+	return c, nil
+}
+
+// Leader returns the member that currently leads and has taken over
+// dispatch, or nil.
+func (c *HACluster) Leader() *wq.HAMaster {
+	for _, h := range c.Masters {
+		if h != nil && h.Ready() {
+			return h
+		}
+	}
+	return nil
+}
+
+// Live returns the members not yet killed.
+func (c *HACluster) Live() []*wq.HAMaster {
+	var out []*wq.HAMaster
+	for _, h := range c.Masters {
+		if h != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// WaitLeader blocks until a member is ready to dispatch.
+func (c *HACluster) WaitLeader(timeout time.Duration) (*wq.HAMaster, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h := c.Leader(); h != nil {
+			return h, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, errors.New("deploy: no HA leader elected")
+}
+
+// KillLeader abruptly kills the current leader — the chaos-plane fault —
+// and returns it. It retries briefly while an election is still settling.
+func (c *HACluster) KillLeader(timeout time.Duration) (*wq.HAMaster, error) {
+	h, err := c.WaitLeader(timeout)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range c.Masters {
+		if m == h {
+			c.Masters[i] = nil
+		}
+	}
+	h.Kill()
+	return h, nil
+}
+
+// Submit submits a task at whichever member currently leads, retrying
+// through elections until the timeout. Tasks should carry a unique Tag so
+// a retry after an ambiguous failure stays idempotent.
+func (c *HACluster) Submit(t *wq.Task, timeout time.Duration) (uint64, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error = errors.New("deploy: no live members")
+	for time.Now().Before(deadline) {
+		for _, h := range c.Masters {
+			if h == nil {
+				continue
+			}
+			id, err := h.Submit(t, time.Until(deadline))
+			if err == nil {
+				return id, nil
+			}
+			lastErr = err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("deploy: HA submit: %w", lastErr)
+}
+
+// Close tears the cluster down: workers first, then members, then logs.
+func (c *HACluster) Close() {
+	for _, w := range c.Workers {
+		w.Close()
+	}
+	for _, h := range c.Masters {
+		if h != nil {
+			h.Close()
+		}
+	}
+	for _, l := range c.logs {
+		l.Close()
+	}
+}

@@ -413,3 +413,55 @@ func TestReplayLogInterleavedHistoryPlane(t *testing.T) {
 			prevTasks, n, prevAlerts, len(liveAlerts))
 	}
 }
+
+// TestReplayLogElections replays a log carrying the control plane's
+// "election" role transitions interleaved with task records: the
+// leadership history must come back in order with event timestamps
+// backfilled, without perturbing the task replay count.
+func TestReplayLogElections(t *testing.T) {
+	var buf bytes.Buffer
+	log := telemetry.NewEventLog(&buf, nil)
+	want := []ElectionRecord{
+		{Time: 0.1, Node: 3, Term: 1, Role: "candidate"},
+		{Time: 0.2, Node: 3, Term: 1, Role: "leader", Leader: 3},
+		{Time: 0.3, Node: 1, Term: 1, Role: "follower", Leader: 3},
+		{Time: 1.6, Node: 2, Term: 2, Role: "leader", Leader: 2},
+	}
+	log.Emit("election", want[0])
+	log.Emit("election", want[1])
+	log.Emit("task", TaskRecord{TaskID: 1, Kind: "analysis", Finish: 0.25})
+	log.Emit("election", want[2])
+	log.Emit("task", TaskRecord{TaskID: 2, Kind: "analysis", Finish: 1.5})
+	log.Emit("election", want[3])
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New()
+	n, err := m.ReplayLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d task records, want 2 (elections must not count)", n)
+	}
+	if !reflect.DeepEqual(m.Elections(), want) {
+		t.Fatalf("elections differ:\n got %+v\nwant %+v", m.Elections(), want)
+	}
+
+	// An election event without its own timestamp inherits the line's.
+	var buf2 bytes.Buffer
+	log2 := telemetry.NewEventLog(&buf2, func() float64 { return 4.5 })
+	log2.Emit("election", map[string]any{"node": 2, "term": 3, "role": "candidate"})
+	if err := log2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New()
+	if _, err := m2.ReplayLog(bytes.NewReader(buf2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	es := m2.Elections()
+	if len(es) != 1 || es[0].Time != 4.5 || es[0].Node != 2 || es[0].Term != 3 {
+		t.Fatalf("backfilled election record wrong: %+v", es)
+	}
+}

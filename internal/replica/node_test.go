@@ -1,0 +1,314 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// cluster is an in-memory synchronous test harness: messages are delivered
+// in order, immediately, unless a node is isolated. Fully deterministic.
+type cluster struct {
+	t        *testing.T
+	nodes    map[uint64]*Node
+	isolated map[uint64]bool
+	inflight []Message
+}
+
+func newCluster(t *testing.T, n int, seed uint64) *cluster {
+	c := &cluster{t: t, nodes: make(map[uint64]*Node), isolated: make(map[uint64]bool)}
+	peers := make([]uint64, n)
+	for i := range peers {
+		peers[i] = uint64(i + 1)
+	}
+	for _, id := range peers {
+		c.nodes[id] = NewNode(Config{ID: id, Peers: peers, Seed: seed ^ id, ElectionTicks: 10}, HardState{}, nil)
+	}
+	return c
+}
+
+// deliver drains the in-flight queue to quiescence.
+func (c *cluster) deliver() {
+	for len(c.inflight) > 0 {
+		m := c.inflight[0]
+		c.inflight = c.inflight[1:]
+		if c.isolated[m.From] || c.isolated[m.To] {
+			continue
+		}
+		n := c.nodes[m.To]
+		if n == nil {
+			continue
+		}
+		c.inflight = append(c.inflight, n.Step(m)...)
+	}
+}
+
+// tick advances every live node one tick and settles traffic.
+func (c *cluster) tick() {
+	for id := uint64(1); id <= uint64(len(c.nodes)); id++ {
+		if c.isolated[id] {
+			continue
+		}
+		c.inflight = append(c.inflight, c.nodes[id].Tick()...)
+	}
+	c.deliver()
+}
+
+// electLeader ticks until some node wins, returning it.
+func (c *cluster) electLeader() *Node {
+	for i := 0; i < 200; i++ {
+		c.tick()
+		if l := c.leader(); l != nil {
+			return l
+		}
+	}
+	c.t.Fatal("no leader elected after 200 ticks")
+	return nil
+}
+
+func (c *cluster) leader() *Node {
+	for id := uint64(1); id <= uint64(len(c.nodes)); id++ {
+		if n := c.nodes[id]; !c.isolated[id] && n.Role() == Leader {
+			return n
+		}
+	}
+	return nil
+}
+
+// propose submits data at the leader and settles replication.
+func (c *cluster) propose(n *Node, data string) uint64 {
+	idx, msgs, ok := n.Propose([]byte(data))
+	if !ok {
+		c.t.Fatalf("propose on non-leader %d", n.cfg.ID)
+	}
+	c.inflight = append(c.inflight, msgs...)
+	c.deliver()
+	return idx
+}
+
+// committedData returns the data of n's committed entries, skipping the
+// empty term-barrier records.
+func committedData(n *Node) []string {
+	var out []string
+	for _, e := range n.Entries(1) {
+		if e.Index > n.Commit() {
+			break
+		}
+		if len(e.Data) > 0 {
+			out = append(out, string(e.Data))
+		}
+	}
+	return out
+}
+
+func TestSingleNodeElectsAndCommits(t *testing.T) {
+	c := newCluster(t, 1, 42)
+	n := c.electLeader()
+	if n.Term() == 0 {
+		t.Fatal("leader with term 0")
+	}
+	idx, _, ok := n.Propose([]byte("a"))
+	if !ok {
+		t.Fatal("single-node propose rejected")
+	}
+	if n.Commit() < idx {
+		t.Fatalf("single-node commit %d < %d", n.Commit(), idx)
+	}
+}
+
+func TestThreeNodeElectionAndReplication(t *testing.T) {
+	c := newCluster(t, 3, 7)
+	ldr := c.electLeader()
+	for i := 0; i < 10; i++ {
+		c.propose(ldr, fmt.Sprintf("e%d", i))
+	}
+	c.tick() // commit-index propagation to followers
+	want := committedData(ldr)
+	if len(want) != 10 {
+		t.Fatalf("leader committed %d entries, want 10", len(want))
+	}
+	for id, n := range c.nodes {
+		got := committedData(n)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("node %d committed %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestAtMostOneVotePerTerm(t *testing.T) {
+	peers := []uint64{1, 2, 3}
+	n := NewNode(Config{ID: 1, Peers: peers, Seed: 1, ElectionTicks: 10}, HardState{}, nil)
+	grant := n.Step(Message{Type: MsgVote, From: 2, To: 1, Term: 5})
+	if len(grant) != 1 || grant[0].Reject {
+		t.Fatal("first vote in term 5 not granted")
+	}
+	second := n.Step(Message{Type: MsgVote, From: 3, To: 1, Term: 5})
+	if len(second) != 1 || !second[0].Reject {
+		t.Fatal("second candidate got a vote in the same term")
+	}
+	again := n.Step(Message{Type: MsgVote, From: 2, To: 1, Term: 5})
+	if len(again) != 1 || again[0].Reject {
+		t.Fatal("retransmitted request from the voted-for candidate rejected")
+	}
+}
+
+func TestVoteRefusedForStaleLog(t *testing.T) {
+	peers := []uint64{1, 2, 3}
+	entries := []Entry{{Index: 1, Term: 1, Data: []byte("x")}, {Index: 2, Term: 2, Data: []byte("y")}}
+	n := NewNode(Config{ID: 1, Peers: peers, Seed: 1, ElectionTicks: 10}, HardState{Term: 2}, entries)
+	resp := n.Step(Message{Type: MsgVote, From: 2, To: 1, Term: 3, LogIndex: 1, LogTerm: 1})
+	if !resp[0].Reject {
+		t.Fatal("vote granted to a candidate with a stale log")
+	}
+	resp = n.Step(Message{Type: MsgVote, From: 3, To: 1, Term: 3, LogIndex: 2, LogTerm: 2})
+	if resp[0].Reject {
+		t.Fatal("vote refused to an up-to-date candidate")
+	}
+}
+
+func TestFailoverPreservesCommittedEntries(t *testing.T) {
+	c := newCluster(t, 3, 11)
+	ldr := c.electLeader()
+	for i := 0; i < 5; i++ {
+		c.propose(ldr, fmt.Sprintf("pre%d", i))
+	}
+	c.tick()
+	want := committedData(ldr)
+	oldTerm := ldr.Term()
+
+	c.isolated[ldr.cfg.ID] = true
+	next := c.electLeader()
+	if next.cfg.ID == ldr.cfg.ID {
+		t.Fatal("isolated leader re-elected")
+	}
+	if next.Term() <= oldTerm {
+		t.Fatalf("new leader term %d not beyond %d", next.Term(), oldTerm)
+	}
+	got := committedData(next)
+	if len(got) < len(want) || fmt.Sprint(got[:len(want)]) != fmt.Sprint(want) {
+		t.Fatalf("committed entries lost across failover: %v vs %v", got, want)
+	}
+	c.propose(next, "post")
+	if g := committedData(next); g[len(g)-1] != "post" {
+		t.Fatal("new leader cannot commit")
+	}
+}
+
+func TestDeposedLeaderConvergesAfterRejoin(t *testing.T) {
+	c := newCluster(t, 3, 23)
+	ldr := c.electLeader()
+	c.propose(ldr, "committed")
+	c.tick()
+
+	// Isolate the leader and let it append an entry that never replicates.
+	c.isolated[ldr.cfg.ID] = true
+	if _, _, ok := ldr.Propose([]byte("orphan")); !ok {
+		t.Fatal("deposed leader refused propose")
+	}
+	next := c.electLeader()
+	c.propose(next, "winner")
+
+	// Rejoin: the old leader must step down, truncate the orphan, and
+	// converge on the new leader's log.
+	delete(c.isolated, ldr.cfg.ID)
+	for i := 0; i < 50; i++ {
+		c.tick()
+	}
+	if ldr.Role() == Leader {
+		t.Fatal("stale leader still leads after rejoin")
+	}
+	got, want := committedData(ldr), committedData(next)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rejoined log %v, want %v", got, want)
+	}
+	for _, e := range ldr.Entries(1) {
+		if bytes.Equal(e.Data, []byte("orphan")) && e.Index <= ldr.Commit() {
+			t.Fatal("orphan entry survived as committed")
+		}
+	}
+}
+
+func TestCommitRequiresMajority(t *testing.T) {
+	c := newCluster(t, 3, 31)
+	ldr := c.electLeader()
+	// Cut the leader off from both followers, then propose: nothing may
+	// commit (replication cannot reach a majority).
+	for id := range c.nodes {
+		if id != ldr.cfg.ID {
+			c.isolated[id] = true
+		}
+	}
+	before := ldr.Commit()
+	idx, _, ok := ldr.Propose([]byte("lonely"))
+	if !ok {
+		t.Fatal("leader refused propose")
+	}
+	c.deliver()
+	for i := 0; i < 30; i++ {
+		c.inflight = append(c.inflight, ldr.Tick()...)
+		c.deliver()
+	}
+	if ldr.Commit() >= idx || ldr.Commit() != before {
+		t.Fatalf("entry committed without a majority (commit=%d)", ldr.Commit())
+	}
+}
+
+func TestDeterministicTimeouts(t *testing.T) {
+	a := NewNode(Config{ID: 3, Peers: []uint64{1, 2, 3}, Seed: 99, ElectionTicks: 10}, HardState{}, nil)
+	b := NewNode(Config{ID: 3, Peers: []uint64{1, 2, 3}, Seed: 99, ElectionTicks: 10}, HardState{}, nil)
+	if a.timeout != b.timeout {
+		t.Fatalf("same seed drew different timeouts: %d vs %d", a.timeout, b.timeout)
+	}
+	if a.timeout < 10 || a.timeout >= 20 {
+		t.Fatalf("timeout %d outside [ElectionTicks, 2×ElectionTicks)", a.timeout)
+	}
+	c := NewNode(Config{ID: 2, Peers: []uint64{1, 2, 3}, Seed: 99, ElectionTicks: 10}, HardState{}, nil)
+	_ = c // different ID usually draws different jitter; no assertion — just exercise
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Type: MsgVote, From: 1, To: 2, Term: 3, LogIndex: 9, LogTerm: 2},
+		{Type: MsgVoteResp, From: 2, To: 1, Term: 3, Reject: true},
+		{Type: MsgApp, From: 1, To: 3, Term: 4, LogIndex: 7, LogTerm: 3, Commit: 6,
+			Entries: []Entry{
+				{Index: 8, Term: 4, Data: []byte(`{"type":"ha_submit"}`)},
+				{Index: 9, Term: 4},
+			}},
+		{Type: MsgAppResp, From: 3, To: 1, Term: 4, LogIndex: 9},
+	}
+	var buf bytes.Buffer
+	var scratch []byte
+	for i := range msgs {
+		var err error
+		scratch, err = WriteMessage(&buf, &msgs[i], scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rs []byte
+	for i := range msgs {
+		got, s, err := ReadMessage(&buf, rs)
+		rs = s
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", msgs[i]) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, msgs[i])
+		}
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	m := Message{Type: MsgApp, From: 1, To: 2, Term: 1,
+		Entries: []Entry{{Index: 1, Term: 1, Data: []byte("payload")}}}
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, &m, nil); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[len(frame)-1] ^= 0xFF
+	if _, _, err := ReadMessage(bytes.NewReader(frame), nil); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}

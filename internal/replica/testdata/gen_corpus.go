@@ -1,0 +1,59 @@
+//go:build ignore
+
+// Generates the checked-in FuzzReplicaWire seed corpus: one file per
+// message shape, plus corrupted variants. Run from the package dir:
+//
+//	go run testdata/gen_corpus.go
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"lobster/internal/replica"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplicaWire")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	write := func(name string, data []byte) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println(name, len(data), "bytes")
+	}
+	enc := func(m *replica.Message) []byte {
+		var buf bytes.Buffer
+		if _, err := replica.WriteMessage(&buf, m, nil); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	vote := enc(&replica.Message{Type: replica.MsgVote, From: 2, To: 1, Term: 5, LogIndex: 17, LogTerm: 4})
+	write("vote", vote)
+	write("vote-resp", enc(&replica.Message{Type: replica.MsgVoteResp, From: 1, To: 2, Term: 5, Reject: true}))
+	write("heartbeat", enc(&replica.Message{Type: replica.MsgApp, From: 3, To: 1, Term: 6, Commit: 17}))
+	write("append-batch", enc(&replica.Message{
+		Type: replica.MsgApp, From: 3, To: 2, Term: 6, LogIndex: 17, LogTerm: 4, Commit: 16,
+		Entries: []replica.Entry{
+			{Index: 18, Term: 6, Data: []byte(`{"t":1.25,"type":"ha_submit","data":{"func":"echo","tag":"pre-0"}}`)},
+			{Index: 19, Term: 6, Data: []byte(`{"t":1.5,"type":"task","data":{"task_id":18,"ha_id":18}}`)},
+			{Index: 20, Term: 6},
+		},
+	}))
+	write("append-resp", enc(&replica.Message{Type: replica.MsgAppResp, From: 2, To: 3, Term: 6, LogIndex: 20}))
+
+	// Corrupted variants: flipped payload byte (CRC fail), torn tail, and
+	// two frames back to back with the second torn.
+	bad := append([]byte(nil), vote...)
+	bad[len(bad)-1] ^= 0xff
+	write("crc-mismatch", bad)
+	write("torn-frame", vote[:len(vote)-3])
+	write("frame-then-torn", append(append([]byte(nil), vote...), vote[:9]...))
+}

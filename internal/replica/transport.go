@@ -1,0 +1,262 @@
+package replica
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"lobster/internal/faultinject"
+	"lobster/internal/telemetry"
+)
+
+// Transport is the real-plane message carrier: a TCP mesh with one inbound
+// listener and one lazily dialled, persistently retried outbound connection
+// per peer. Loss is acceptable by construction — the protocol retransmits
+// from its own state on every tick — so a send to a dead peer drops after
+// one dial attempt instead of blocking the group loop.
+//
+// Connections thread the fault plane under component "replica": injected
+// drops and corruption surface as CRC failures, the connection dies, and
+// the protocol heals through retransmission — the same seam discipline as
+// every other wire in the repo.
+type Transport struct {
+	self  uint64
+	addrs map[uint64]string
+	lis   net.Listener
+	inj   *faultinject.Injector
+	recv  func(Message)
+
+	mu    sync.Mutex
+	peers map[uint64]*outPeer
+	conns map[net.Conn]bool // inbound, for teardown
+
+	sent, received *telemetry.Counter
+	dropped        *telemetry.Counter
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// outPeer is one outbound peer: a bounded queue drained by a dedicated
+// sender goroutine, so a slow or dead peer never stalls the group loop.
+type outPeer struct {
+	ch chan Message
+}
+
+// outQueueDepth bounds buffered outbound messages per peer. Deep enough
+// to absorb a log catch-up burst; overflow drops (the protocol resends).
+const outQueueDepth = 256
+
+// dialTimeout bounds one outbound connection attempt.
+const dialTimeout = 2 * time.Second
+
+// redialBackoff is the pause after a failed dial before the next attempt;
+// messages arriving inside the window are dropped.
+const redialBackoff = 50 * time.Millisecond
+
+// NewTransport starts a transport listening on addrs[self]. recv is called
+// from receive goroutines for every inbound message; it must be safe for
+// concurrent use (the Group funnels into its loop channel).
+func NewTransport(self uint64, addrs map[uint64]string, inj *faultinject.Injector, recv func(Message)) (*Transport, error) {
+	lis, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		self:   self,
+		addrs:  addrs,
+		lis:    lis,
+		inj:    inj,
+		recv:   recv,
+		peers:  make(map[uint64]*outPeer),
+		conns:  make(map[net.Conn]bool),
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listen address (for :0 listeners).
+func (t *Transport) Addr() string { return t.lis.Addr().String() }
+
+// Instrument registers the transport's counters on reg.
+func (t *Transport) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sent = reg.Counter("lobster_replica_messages_sent_total",
+		"Replication/vote messages written to peers.")
+	t.received = reg.Counter("lobster_replica_messages_received_total",
+		"Replication/vote messages received from peers.")
+	t.dropped = reg.Counter("lobster_replica_messages_dropped_total",
+		"Outbound messages dropped on full queues or dead peers.")
+	t.mu.Unlock()
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		raw, err := t.lis.Accept()
+		if err != nil {
+			return
+		}
+		raw = t.inj.Conn("replica", raw)
+		t.mu.Lock()
+		select {
+		case <-t.closed:
+			t.mu.Unlock()
+			raw.Close()
+			return
+		default:
+		}
+		t.conns[raw] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(raw)
+	}
+}
+
+// readLoop decodes frames until the connection errors. Entry data decoded
+// from the read buffer is copied before delivery: the buffer is reused
+// frame to frame, the entries outlive it in the recipient's log.
+func (t *Transport) readLoop(raw net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		raw.Close()
+		t.mu.Lock()
+		delete(t.conns, raw)
+		t.mu.Unlock()
+	}()
+	var scratch []byte
+	for {
+		m, s, err := ReadMessage(raw, scratch)
+		scratch = s
+		if err != nil {
+			return
+		}
+		for i := range m.Entries {
+			if len(m.Entries[i].Data) > 0 {
+				m.Entries[i].Data = append([]byte(nil), m.Entries[i].Data...)
+			}
+		}
+		t.mu.Lock()
+		c := t.received
+		t.mu.Unlock()
+		c.Inc()
+		t.recv(m)
+	}
+}
+
+// Send queues msgs for delivery. Non-blocking: full queues and unknown
+// peers drop (the protocol's tick-driven retransmission recovers).
+func (t *Transport) Send(msgs []Message) {
+	for _, m := range msgs {
+		t.mu.Lock()
+		if _, ok := t.addrs[m.To]; !ok {
+			t.mu.Unlock()
+			continue
+		}
+		p := t.peers[m.To]
+		if p == nil {
+			select {
+			case <-t.closed:
+				t.mu.Unlock()
+				return
+			default:
+			}
+			p = &outPeer{ch: make(chan Message, outQueueDepth)}
+			t.peers[m.To] = p
+			t.wg.Add(1)
+			go t.sendLoop(m.To, p)
+		}
+		drop := t.dropped
+		t.mu.Unlock()
+		select {
+		case p.ch <- m:
+		default:
+			drop.Inc()
+		}
+	}
+}
+
+// sendLoop owns the outbound connection to one peer: dial on demand,
+// write frames, drop while the peer is unreachable (with backoff so a
+// dead peer costs one dial per window, not one per heartbeat).
+func (t *Transport) sendLoop(to uint64, p *outPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var scratch []byte
+	var lastDial time.Time
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var m Message
+		select {
+		case <-t.closed:
+			return
+		case m = <-p.ch:
+		}
+		if conn == nil {
+			if time.Since(lastDial) < redialBackoff {
+				t.drop()
+				continue
+			}
+			lastDial = time.Now()
+			raw, err := net.DialTimeout("tcp", t.addrs[to], dialTimeout)
+			if err != nil {
+				t.drop()
+				continue
+			}
+			conn = t.inj.Conn("replica", raw)
+			t.mu.Lock()
+			t.conns[conn] = true
+			t.mu.Unlock()
+		}
+		s, err := WriteMessage(conn, &m, scratch)
+		scratch = s
+		if err != nil {
+			conn.Close()
+			t.mu.Lock()
+			delete(t.conns, conn)
+			t.mu.Unlock()
+			conn = nil
+			t.drop()
+			continue
+		}
+		t.mu.Lock()
+		c := t.sent
+		t.mu.Unlock()
+		c.Inc()
+	}
+}
+
+func (t *Transport) drop() {
+	t.mu.Lock()
+	c := t.dropped
+	t.mu.Unlock()
+	c.Inc()
+}
+
+// Close tears the mesh down: listener, inbound and outbound connections.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	select {
+	case <-t.closed:
+		t.mu.Unlock()
+		return nil
+	default:
+	}
+	close(t.closed)
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.lis.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,182 @@
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire framing for replication and vote messages, following the repo's
+// store/chirp conventions: every frame is
+//
+//	crc32(payload) | payloadLen | payload     (uint32 little-endian each)
+//
+// and the payload is a compact varint encoding of the Message. A torn or
+// corrupted frame fails the CRC and the transport drops the connection —
+// the protocol retransmits from its own state, so the wire layer never
+// needs partial-frame recovery.
+
+// maxFrame bounds a frame payload. Generous for a 64-entry batch of
+// event-log lines, small enough that a corrupted length field cannot make
+// the reader allocate gigabytes.
+const maxFrame = 16 << 20
+
+// ErrFrame reports a malformed or corrupted frame.
+var ErrFrame = errors.New("replica: bad frame")
+
+// appendUvarint appends v as a varint.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendMessage appends m's payload encoding (no frame header) to buf.
+func AppendMessage(buf []byte, m *Message) []byte {
+	buf = append(buf, byte(m.Type))
+	flags := byte(0)
+	if m.Reject {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	buf = appendUvarint(buf, m.From)
+	buf = appendUvarint(buf, m.To)
+	buf = appendUvarint(buf, m.Term)
+	buf = appendUvarint(buf, m.LogIndex)
+	buf = appendUvarint(buf, m.LogTerm)
+	buf = appendUvarint(buf, m.Commit)
+	buf = appendUvarint(buf, uint64(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		buf = appendUvarint(buf, e.Index)
+		buf = appendUvarint(buf, e.Term)
+		buf = appendUvarint(buf, uint64(len(e.Data)))
+		buf = append(buf, e.Data...)
+	}
+	return buf
+}
+
+// uvarint reads one varint with bounds checking.
+func uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrFrame
+	}
+	return v, b[n:], nil
+}
+
+// DecodeMessage decodes one payload produced by AppendMessage. Entry data
+// slices alias b; callers that retain entries past the buffer's reuse must
+// copy (the transport hands decoded messages straight to the group loop,
+// which copies on append).
+func DecodeMessage(b []byte) (Message, error) {
+	var m Message
+	if len(b) < 2 {
+		return m, ErrFrame
+	}
+	m.Type = MsgType(b[0])
+	if m.Type < MsgVote || m.Type > MsgAppResp {
+		return m, fmt.Errorf("%w: unknown type %d", ErrFrame, b[0])
+	}
+	m.Reject = b[1]&1 != 0
+	b = b[2:]
+	var err error
+	if m.From, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	if m.To, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	if m.Term, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	if m.LogIndex, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	if m.LogTerm, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	if m.Commit, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	var count uint64
+	if count, b, err = uvarint(b); err != nil {
+		return m, err
+	}
+	// Each entry needs at least 3 payload bytes; an implausible count is a
+	// corrupted frame, not an allocation request.
+	if count > uint64(len(b)) {
+		return m, fmt.Errorf("%w: entry count %d exceeds payload", ErrFrame, count)
+	}
+	if count > 0 {
+		m.Entries = make([]Entry, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		if e.Index, b, err = uvarint(b); err != nil {
+			return m, err
+		}
+		if e.Term, b, err = uvarint(b); err != nil {
+			return m, err
+		}
+		var dlen uint64
+		if dlen, b, err = uvarint(b); err != nil {
+			return m, err
+		}
+		if dlen > uint64(len(b)) {
+			return m, fmt.Errorf("%w: entry data length %d exceeds payload", ErrFrame, dlen)
+		}
+		if dlen > 0 {
+			e.Data = b[:dlen]
+		}
+		b = b[dlen:]
+		m.Entries = append(m.Entries, e)
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(b))
+	}
+	return m, nil
+}
+
+// WriteMessage frames and writes one message. scratch (may be nil) is the
+// reusable encode buffer; the grown buffer is returned for the next call.
+func WriteMessage(w io.Writer, m *Message, scratch []byte) ([]byte, error) {
+	buf := scratch[:0]
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	buf = AppendMessage(buf, m)
+	payload := buf[8:]
+	if len(payload) > maxFrame {
+		return buf, fmt.Errorf("%w: frame of %d bytes", ErrFrame, len(payload))
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	_, err := w.Write(buf)
+	return buf, err
+}
+
+// ReadMessage reads one framed message, verifying length bound and CRC.
+// scratch is the reusable payload buffer, returned grown for the next
+// call. The decoded message's entries alias scratch.
+func ReadMessage(r io.Reader, scratch []byte) (Message, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, scratch, err
+	}
+	sum := binary.LittleEndian.Uint32(hdr[0:4])
+	size := binary.LittleEndian.Uint32(hdr[4:8])
+	if size > maxFrame {
+		return Message{}, scratch, fmt.Errorf("%w: implausible length %d", ErrFrame, size)
+	}
+	if uint32(cap(scratch)) < size {
+		scratch = make([]byte, size)
+	}
+	payload := scratch[:size]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, scratch[:cap(scratch)], err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Message{}, scratch[:cap(scratch)], fmt.Errorf("%w: CRC mismatch", ErrFrame)
+	}
+	m, err := DecodeMessage(payload)
+	return m, scratch[:cap(scratch)], err
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lobster/internal/replica"
+)
+
+// electionGoldenConfig is the pinned (seed, fault plan) pair: a 3-member
+// control plane, one proposal before and one after a leader kill at
+// t=1.5s, with 5% message loss.
+func electionGoldenConfig() replica.SimConfig {
+	return replica.SimConfig{
+		Nodes: 3, Seed: 2026, Duration: 6, DropProb: 0.05,
+		Kills:     []replica.SimKill{{Time: 1.5}},
+		Proposals: []replica.SimProposal{{Time: 1.0, Data: "job-a"}, {Time: 3.0, Data: "job-b"}},
+	}
+}
+
+// TestGoldenElectionTranscript pins the full election transcript of the
+// replicated control plane on the sim clock: the same seed and fault plan
+// must always produce the identical terms, winners, and takeover instant,
+// down to the millisecond. Like TestGoldenBigRunHealthAlerts, any change
+// to this output is a change to the protocol's behaviour and must be
+// reviewed, not papered over.
+func TestGoldenElectionTranscript(t *testing.T) {
+	res := replica.RunSim(electionGoldenConfig())
+	if len(res.Violations) != 0 {
+		t.Fatalf("golden run has safety violations: %v", res.Violations)
+	}
+	want := []string{
+		"t=0.010 node=1 term=0 role=follower",
+		"t=0.010 node=2 term=0 role=follower",
+		"t=0.010 node=3 term=0 role=follower",
+		"t=0.100 node=3 term=1 role=candidate",
+		"t=0.103 node=2 term=1 role=follower",
+		"t=0.104 node=1 term=1 role=follower",
+		"t=0.105 node=3 term=1 role=leader",
+		"t=1.500 kill node=3 role=leader term=1",
+		"t=1.600 node=2 term=2 role=candidate",
+		"t=1.602 node=1 term=2 role=follower",
+		"t=1.603 node=2 term=2 role=leader",
+	}
+	if got := strings.Join(res.Transcript, "\n"); got != strings.Join(want, "\n") {
+		t.Errorf("election transcript diverged from golden:\n got:\n%s\nwant:\n%s",
+			got, strings.Join(want, "\n"))
+	}
+	summary := fmt.Sprintf("elections=%d firstLeader=%.3f takeover=%.3f",
+		res.Elections, res.FirstLeaderAt, res.TakeoverAt)
+	if summary != "elections=2 firstLeader=0.105 takeover=1.603" {
+		t.Errorf("summary diverged: %s, want elections=2 firstLeader=0.105 takeover=1.603", summary)
+	}
+	// Node 3 led term 1 and died with job-a applied; node 2 took over term
+	// 2 and carried both jobs. Exactly one winner per term.
+	if fmt.Sprint(res.LeadersByTerm[1]) != "[3]" || fmt.Sprint(res.LeadersByTerm[2]) != "[2]" {
+		t.Errorf("leaders by term diverged: %v", res.LeadersByTerm)
+	}
+	if fmt.Sprint(res.Applied[1]) != "[job-a job-b]" ||
+		fmt.Sprint(res.Applied[2]) != "[job-a job-b]" ||
+		fmt.Sprint(res.Applied[3]) != "[job-a]" {
+		t.Errorf("applied streams diverged: %v", res.Applied)
+	}
+}
+
+// TestGoldenElectionReplays runs the pinned config twice and requires
+// bit-identical results — the determinism contract that lets a failover
+// incident be replayed from its seed.
+func TestGoldenElectionReplays(t *testing.T) {
+	a := replica.RunSim(electionGoldenConfig())
+	b := replica.RunSim(electionGoldenConfig())
+	if strings.Join(a.Transcript, "\n") != strings.Join(b.Transcript, "\n") {
+		t.Fatal("replay produced a different transcript")
+	}
+	if fmt.Sprint(a.Applied) != fmt.Sprint(b.Applied) || a.TakeoverAt != b.TakeoverAt {
+		t.Fatal("replay produced different applied streams or takeover instant")
+	}
+}

@@ -1,0 +1,269 @@
+package wq
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"lobster/internal/replica"
+)
+
+// haReserve grabs n loopback addresses by listening and closing.
+func haReserve(t *testing.T, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	for i := range out {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = l.Addr().String()
+		l.Close()
+	}
+	return out
+}
+
+// startHATrio starts a 3-member replicated control plane and returns the
+// members plus their worker-facing addresses.
+func startHATrio(t *testing.T) ([]*HAMaster, []string) {
+	t.Helper()
+	repAddrs := haReserve(t, 3)
+	peers := map[uint64]string{1: repAddrs[0], 2: repAddrs[1], 3: repAddrs[2]}
+	masters := make([]*HAMaster, 3)
+	// Start the members to learn their wq addrs, then share the map for
+	// redirects (redirects are hints; a nil map only slows workers down).
+	wqAddrs := make(map[uint64]string)
+	for i := 0; i < 3; i++ {
+		h, err := StartHAMaster(HAMasterConfig{
+			ID: uint64(i + 1), Peers: peers, Addr: "127.0.0.1:0",
+			WQAddrs: wqAddrs, Seed: 99,
+			TickEvery: 2 * time.Millisecond, ElectionTicks: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		masters[i] = h
+	}
+	addrs := make([]string, 3)
+	for i, h := range masters {
+		addrs[i] = h.Addr()
+		wqAddrs[uint64(i+1)] = h.Addr()
+	}
+	return masters, addrs
+}
+
+// waitHALeader blocks until some live member is ready to dispatch.
+func waitHALeader(t *testing.T, masters []*HAMaster) *HAMaster {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, h := range masters {
+			if h != nil && h.Ready() {
+				return h
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no HA leader became ready")
+	return nil
+}
+
+// haSubmit submits a tagged task at whichever member leads, retrying
+// through leadership changes (tag dedupe makes the retry idempotent).
+func haSubmit(t *testing.T, masters []*HAMaster, task *Task) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, h := range masters {
+			if h == nil {
+				continue
+			}
+			id, err := h.Submit(task, 5*time.Second)
+			if err == nil {
+				return id
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("submit %q never committed", task.Tag)
+	return 0
+}
+
+func TestHAMasterFailover(t *testing.T) {
+	masters, addrs := startHATrio(t)
+	defer func() {
+		for _, h := range masters {
+			if h != nil {
+				h.Close()
+			}
+		}
+	}()
+
+	var workers []*HAWorker
+	for i := 0; i < 2; i++ {
+		w := StartHAWorker(HAWorkerConfig{
+			Addrs: addrs, Name: fmt.Sprintf("w%d", i), Cores: 2,
+			Dir: t.TempDir(), Reg: testRegistry(),
+		})
+		workers = append(workers, w)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	ldr := waitHALeader(t, masters)
+
+	// A standby must refuse submissions with the typed error.
+	for _, h := range masters {
+		if h != ldr {
+			if _, err := h.Submit(&Task{Func: "echo"}, time.Second); err != replica.ErrNotLeader {
+				t.Fatalf("standby Submit returned %v, want ErrNotLeader", err)
+			}
+			break
+		}
+	}
+
+	const pre = 10
+	for i := 0; i < pre; i++ {
+		haSubmit(t, masters, &Task{
+			Func: "echo", Tag: fmt.Sprintf("pre-%d", i),
+			Args:    map[string]string{"text": fmt.Sprintf("payload-%d", i)},
+			Outputs: []string{"out.txt"},
+		})
+	}
+	if !ldr.WaitDone(pre, 15*time.Second) {
+		t.Fatalf("leader finished %d/%d before kill", ldr.DoneCount(), pre)
+	}
+
+	// Kill the leader abruptly mid-cluster. The survivors must elect,
+	// replay, and finish new work — and still hold every old outcome.
+	var killIdx int
+	for i, h := range masters {
+		if h == ldr {
+			killIdx = i
+		}
+	}
+	ldr.Kill()
+	masters[killIdx] = nil
+
+	next := waitHALeader(t, masters)
+	const post = 5
+	for i := 0; i < post; i++ {
+		haSubmit(t, masters, &Task{
+			Func: "echo", Tag: fmt.Sprintf("post-%d", i),
+			Args:    map[string]string{"text": fmt.Sprintf("late-%d", i)},
+			Outputs: []string{"out.txt"},
+		})
+	}
+	if !next.WaitDone(pre+post, 20*time.Second) {
+		t.Fatalf("post-failover leader finished %d/%d", next.DoneCount(), pre+post)
+	}
+
+	// Exactly-once at the replicated level: every tag resolved exactly one
+	// terminal outcome, outputs intact, on every survivor.
+	for _, h := range masters {
+		if h == nil {
+			continue
+		}
+		if !h.WaitDone(pre+post, 10*time.Second) {
+			t.Fatalf("member %d holds %d outcomes, want %d", h.ID(), h.DoneCount(), pre+post)
+		}
+		seen := make(map[string]int)
+		for _, r := range h.Results() {
+			seen[r.Tag]++
+			if r.Failed() {
+				t.Fatalf("member %d: task %s failed: %s", h.ID(), r.Tag, r.Error)
+			}
+			if len(r.Outputs) != 1 || r.Outputs[0].Name != "out.txt" {
+				t.Fatalf("member %d: task %s outputs %v", h.ID(), r.Tag, r.Outputs)
+			}
+		}
+		for i := 0; i < pre; i++ {
+			if n := seen[fmt.Sprintf("pre-%d", i)]; n != 1 {
+				t.Fatalf("member %d: pre-%d completed %d times", h.ID(), i, n)
+			}
+		}
+		for i := 0; i < post; i++ {
+			if n := seen[fmt.Sprintf("post-%d", i)]; n != 1 {
+				t.Fatalf("member %d: post-%d completed %d times", h.ID(), i, n)
+			}
+		}
+		// The warm task DB mirrors the outcomes.
+		if h.Monitor().Len() != pre+post {
+			t.Fatalf("member %d monitor holds %d records, want %d",
+				h.ID(), h.Monitor().Len(), pre+post)
+		}
+		if h.PendingCount() != 0 {
+			t.Fatalf("member %d still has %d pending", h.ID(), h.PendingCount())
+		}
+	}
+}
+
+func TestHASubmitTagIdempotent(t *testing.T) {
+	masters, addrs := startHATrio(t)
+	defer func() {
+		for _, h := range masters {
+			h.Close()
+		}
+	}()
+	w := StartHAWorker(HAWorkerConfig{
+		Addrs: addrs, Name: "w0", Cores: 1, Dir: t.TempDir(), Reg: testRegistry(),
+	})
+	defer w.Close()
+
+	ldr := waitHALeader(t, masters)
+	task := &Task{Func: "echo", Tag: "once", Args: map[string]string{"text": "hi"}, Outputs: []string{"out.txt"}}
+	id1, err := ldr.Submit(task, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := ldr.Submit(&Task{Func: "echo", Tag: "once"}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("resubmitted tag got a new ID: %d vs %d", id1, id2)
+	}
+	if !ldr.WaitDone(1, 10*time.Second) {
+		t.Fatal("task never finished")
+	}
+	if ldr.DoneCount() != 1 {
+		t.Fatalf("tag ran %d times, want 1", ldr.DoneCount())
+	}
+}
+
+func TestHARedirectPointsAtLeader(t *testing.T) {
+	masters, _ := startHATrio(t)
+	defer func() {
+		for _, h := range masters {
+			h.Close()
+		}
+	}()
+	ldr := waitHALeader(t, masters)
+
+	// Dial a standby directly: the hello must be answered with a redirect
+	// carrying the leader's worker-facing address.
+	var standby *HAMaster
+	for _, h := range masters {
+		if h != ldr {
+			standby = h
+			break
+		}
+	}
+	w, err := NewWorker(standby.Addr(), "probe", 1, t.TempDir(), testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	select {
+	case <-w.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("standby kept the worker connection open")
+	}
+	if got := w.RedirectAddr(); got != ldr.Addr() {
+		t.Fatalf("redirect %q, want leader %q", got, ldr.Addr())
+	}
+}

@@ -1,0 +1,125 @@
+package wq
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HAWorkerConfig configures a worker that follows the leader of a
+// replicated control plane.
+type HAWorkerConfig struct {
+	// Addrs lists every member's worker-facing address; the worker walks
+	// the list until a member admits it, preferring a redirect hint when
+	// one arrives.
+	Addrs []string
+	Name  string
+	Cores int
+	Dir   string
+	Reg   Registry
+	Opts  WorkerOptions
+	// Redial bounds the pause between connection attempts (default 25ms).
+	Redial time.Duration
+}
+
+// HAWorker is the failover-aware worker harness: it dials the control
+// plane, works for whichever member admits it, and when the connection
+// dies (leader kill) or the member points it elsewhere (redirect), it
+// redials until it finds the new leader. The underlying Worker is
+// recreated per connection; the scratch dir (and thus sandboxes) carries
+// over, matching a real worker process surviving its master.
+type HAWorker struct {
+	cfg    HAWorkerConfig
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	cur *Worker
+
+	connects atomic.Int64
+	tasksRun atomic.Int64
+}
+
+// StartHAWorker launches the reconnect loop.
+func StartHAWorker(cfg HAWorkerConfig) *HAWorker {
+	if cfg.Redial <= 0 {
+		cfg.Redial = 25 * time.Millisecond
+	}
+	w := &HAWorker{cfg: cfg, closed: make(chan struct{})}
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+// Connects returns the number of successful master connections made.
+func (w *HAWorker) Connects() int64 { return w.connects.Load() }
+
+// TasksRun returns tasks executed across all connections.
+func (w *HAWorker) TasksRun() int64 { return w.tasksRun.Load() }
+
+func (w *HAWorker) loop() {
+	defer w.wg.Done()
+	next := 0 // index into Addrs when no hint is available
+	hint := ""
+	for {
+		select {
+		case <-w.closed:
+			return
+		default:
+		}
+		addr := hint
+		if addr == "" {
+			addr = w.cfg.Addrs[next%len(w.cfg.Addrs)]
+			next++
+		}
+		hint = ""
+		worker, err := NewWorkerOpts(addr, w.cfg.Name, w.cfg.Cores, w.cfg.Dir, w.cfg.Reg, w.cfg.Opts)
+		if err != nil {
+			select {
+			case <-w.closed:
+				return
+			case <-time.After(w.cfg.Redial):
+			}
+			continue
+		}
+		w.connects.Add(1)
+		w.mu.Lock()
+		w.cur = worker
+		w.mu.Unlock()
+		select {
+		case <-worker.Done():
+			// Connection died: a standby said go elsewhere, the leader was
+			// killed, or the fault plane cut us. Collect the hint, account
+			// the work, and redial.
+			hint = worker.RedirectAddr()
+			w.tasksRun.Add(worker.TasksRun())
+			worker.Close()
+			select {
+			case <-w.closed:
+				return
+			case <-time.After(w.cfg.Redial):
+			}
+		case <-w.closed:
+			w.tasksRun.Add(worker.TasksRun())
+			worker.Close()
+			return
+		}
+	}
+}
+
+// Close stops the loop and disconnects.
+func (w *HAWorker) Close() {
+	select {
+	case <-w.closed:
+		return
+	default:
+	}
+	close(w.closed)
+	w.mu.Lock()
+	cur := w.cur
+	w.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+	w.wg.Wait()
+}

@@ -49,6 +49,12 @@ type Master struct {
 	nextID atomic.Int64
 	closed atomic.Bool
 
+	// HA gate: a refusing master answers worker hellos with a redirect
+	// naming the address in redirect (possibly empty) instead of admitting
+	// them. The zero value accepts, preserving standalone behaviour.
+	refusing atomic.Bool
+	redirect atomic.Pointer[string]
+
 	running atomic.Int64 // dispatched, result not yet received
 
 	workersMu sync.Mutex
@@ -248,6 +254,39 @@ func NewMaster(addr string) (*Master, error) {
 // Addr returns the master's listen address.
 func (m *Master) Addr() string { return m.lis.Addr().String() }
 
+// SetAccepting gates worker admission. While not accepting, every worker
+// hello is answered with a redirect message (see SetRedirect) and the
+// connection is dropped. Standby masters in a replicated control plane run
+// permanently gated; a deposed leader gates itself before kicking its
+// fleet.
+func (m *Master) SetAccepting(ok bool) { m.refusing.Store(!ok) }
+
+// SetRedirect sets the address carried in redirect messages — the current
+// leader's worker-facing address, when known.
+func (m *Master) SetRedirect(addr string) { m.redirect.Store(&addr) }
+
+// KickWorkers sends every connected worker a redirect and severs its
+// connection. Tasks the connections held are requeued by the normal
+// worker-loss path; on a deposed master they then fail their retry budget
+// locally, which is correct — the new leader owns them now.
+func (m *Master) KickWorkers() {
+	m.workersMu.Lock()
+	conns := make([]*workerConn, 0, len(m.workers))
+	for wc := range m.workers {
+		conns = append(conns, wc)
+	}
+	m.workersMu.Unlock()
+	var addr string
+	if p := m.redirect.Load(); p != nil {
+		addr = *p
+	}
+	for _, wc := range conns {
+		wc.conn.send(&message{Type: "redirect", Name: addr})
+		m.markDead(wc)
+		wc.conn.close()
+	}
+}
+
 // Submit queues a task and returns its assigned ID.
 func (m *Master) Submit(t *Task) (int64, error) {
 	if t.Func == "" {
@@ -431,6 +470,14 @@ func (m *Master) serveWorker(c *conn) {
 	defer c.close()
 	hello, err := c.recv()
 	if err != nil || hello.Type != "hello" || hello.Cores < 1 {
+		return
+	}
+	if m.refusing.Load() {
+		var addr string
+		if p := m.redirect.Load(); p != nil {
+			addr = *p
+		}
+		c.send(&message{Type: "redirect", Name: addr})
 		return
 	}
 	wc := &workerConn{
