@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+
+	"lobster/internal/sim"
+)
+
+// Data-challenge guard: holds the throughput plane to the acceptance
+// bars it landed with, against BENCH_challenge.json:
+//
+//  1. Striping must pay: the 256 MiB striped 4-replica fetch must beat
+//     the single-replica FetchTo by min_striped_speedup on the same
+//     link-throttled loopback cluster (ratio of this run's own minima,
+//     so shared-host noise cancels; both sides also hold their pinned
+//     ns/op within -time-tolerance).
+//  2. Peering must pay: a squid peer hit must cost under
+//     max_peer_hit_fraction of an origin miss (same-run ratio again).
+//  3. Allocation budgets are absolute: whole-file transfers allocate a
+//     bounded count regardless of size (the pools carry the payload),
+//     and the proxy hot paths stay flat.
+//  4. The sim-plane extrapolation is re-run in process and compared
+//     exactly — the paper-scale table is seeded and deterministic, so
+//     any drift is a model change, not noise.
+
+const (
+	chalSingleBench  = "BenchmarkChallengeFetchSingle"
+	chalStripedBench = "BenchmarkChallengeFetchStriped4"
+	chalOriginBench  = "BenchmarkOriginMiss"
+	chalPeerBench    = "BenchmarkPeerHit"
+)
+
+// chalBenchSpec pins one benchmark in the BENCH_challenge.json schema.
+type chalBenchSpec struct {
+	Note           string    `json:"note,omitempty"`
+	NsOp           []float64 `json:"ns_op"`
+	MaxAllocsPerOp float64   `json:"max_allocs_per_op"`
+}
+
+// chalBaseline is the BENCH_challenge.json schema.
+type chalBaseline struct {
+	Note     string `json:"note"`
+	Recorded string `json:"recorded"`
+
+	XrootdPkg         string        `json:"xrootd_pkg"`
+	FetchSingle       chalBenchSpec `json:"fetch_single"`
+	FetchStriped      chalBenchSpec `json:"fetch_striped"`
+	MinStripedSpeedup float64       `json:"min_striped_speedup"`
+
+	SquidPkg           string        `json:"squid_pkg"`
+	OriginMiss         chalBenchSpec `json:"origin_miss"`
+	PeerHit            chalBenchSpec `json:"peer_hit"`
+	MaxPeerHitFraction float64       `json:"max_peer_hit_fraction"`
+
+	Extrapolation struct {
+		Note         string  `json:"note"`
+		Links        int     `json:"links"`
+		NaiveGbps    float64 `json:"naive_gbps"`
+		SelectorGbps float64 `json:"selector_gbps"`
+		SelectorGBps float64 `json:"selector_gbyte_per_sec"`
+	} `json:"extrapolation"`
+}
+
+func runChallengeGuard(baselinePath string, timeTol float64, count int, update bool) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base chalBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if base.XrootdPkg == "" {
+		base.XrootdPkg = "./internal/xrootd/"
+	}
+	if base.SquidPkg == "" {
+		base.SquidPkg = "./internal/squid/"
+	}
+
+	// One op of the fetch benchmarks is a whole 256 MiB transfer over a
+	// throttled link (~0.2–0.7 s); 1x per repetition keeps the guard
+	// under a minute. The squid round trips are microseconds — 20x.
+	single, err := chalBench(base.XrootdPkg, chalSingleBench, count, "1x")
+	if err != nil {
+		return err
+	}
+	striped, err := chalBench(base.XrootdPkg, chalStripedBench, count, "1x")
+	if err != nil {
+		return err
+	}
+	origin, err := chalBench(base.SquidPkg, chalOriginBench, count, "20x")
+	if err != nil {
+		return err
+	}
+	peer, err := chalBench(base.SquidPkg, chalPeerBench, count, "20x")
+	if err != nil {
+		return err
+	}
+
+	if update {
+		base.FetchSingle.NsOp = single.nsOp
+		base.FetchStriped.NsOp = striped.nsOp
+		base.OriginMiss.NsOp = origin.nsOp
+		base.PeerHit.NsOp = peer.nsOp
+		enc, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated %s with fresh samples\n", baselinePath)
+		return nil
+	}
+
+	var failures []string
+	relative := func(name string, fresh, pinned []float64) {
+		fb, pb := min(fresh), min(pinned)
+		fmt.Printf("%-32s best %12.0f ns/op vs pinned %12.0f (%+.1f%%), tolerance %.0f%%\n",
+			name, fb, pb, 100*(fb/pb-1), 100*timeTol)
+		if fb > pb*(1+timeTol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: best %.0f ns/op vs pinned %.0f exceeds %.0f%% bound",
+				name, fb, pb, 100*timeTol))
+		}
+	}
+	relative(chalSingleBench, single.nsOp, base.FetchSingle.NsOp)
+	relative(chalStripedBench, striped.nsOp, base.FetchStriped.NsOp)
+	relative(chalOriginBench, origin.nsOp, base.OriginMiss.NsOp)
+	relative(chalPeerBench, peer.nsOp, base.PeerHit.NsOp)
+
+	// The headline ratios compare this run's own minima: both sides saw
+	// the same host, so the bars hold even when the machine is slow.
+	speedup := min(single.nsOp) / min(striped.nsOp)
+	fmt.Printf("striped speedup: %.2fx (floor %.1fx)\n", speedup, base.MinStripedSpeedup)
+	if speedup < base.MinStripedSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"striped 4-replica fetch is %.2fx the single-replica path, floor %.1fx",
+			speedup, base.MinStripedSpeedup))
+	}
+	frac := min(peer.nsOp) / min(origin.nsOp)
+	fmt.Printf("peer-hit latency: %.1f%% of an origin miss (ceiling %.0f%%)\n",
+		100*frac, 100*base.MaxPeerHitFraction)
+	if frac > base.MaxPeerHitFraction {
+		failures = append(failures, fmt.Sprintf(
+			"squid peer hit costs %.1f%% of an origin miss, ceiling %.0f%%",
+			100*frac, 100*base.MaxPeerHitFraction))
+	}
+
+	absolute := func(name string, fresh []float64, bound float64) {
+		fb := min(fresh)
+		fmt.Printf("%-32s %6.0f allocs/op (bound %.0f)\n", name, fb, bound)
+		if fb > bound {
+			failures = append(failures, fmt.Sprintf(
+				"%s allocates %.0f/op, bound %.0f", name, fb, bound))
+		}
+	}
+	absolute(chalSingleBench, single.allocsOp, base.FetchSingle.MaxAllocsPerOp)
+	absolute(chalStripedBench, striped.allocsOp, base.FetchStriped.MaxAllocsPerOp)
+	absolute(chalOriginBench, origin.allocsOp, base.OriginMiss.MaxAllocsPerOp)
+	absolute(chalPeerBench, peer.allocsOp, base.PeerHit.MaxAllocsPerOp)
+
+	// Extrapolation: seeded and in-process, compared exactly.
+	points, err := sim.SimulateChallenge(sim.DefaultChallengeConfig())
+	if err != nil {
+		return err
+	}
+	last := points[len(points)-1]
+	fmt.Printf("extrapolation: %d links → naive %.1f Gbps, selector %.1f Gbps (%.2f GB/s)\n",
+		last.Links, last.NaiveGbps, last.AggregateGbps, last.AggregateGBps)
+	if last.Links != base.Extrapolation.Links ||
+		last.NaiveGbps != base.Extrapolation.NaiveGbps ||
+		last.AggregateGbps != base.Extrapolation.SelectorGbps ||
+		last.AggregateGBps != base.Extrapolation.SelectorGBps {
+		failures = append(failures, fmt.Sprintf(
+			"paper-scale extrapolation drifted from the pinned table: %d links naive %.17g selector %.17g GB/s %.17g",
+			last.Links, last.NaiveGbps, last.AggregateGbps, last.AggregateGBps))
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("%d throughput-plane budget(s) exceeded", len(failures))
+	}
+	fmt.Println("ok: throughput plane within budget")
+	return nil
+}
+
+// chalResult holds one benchmark's parsed samples.
+type chalResult struct {
+	nsOp     []float64
+	allocsOp []float64
+}
+
+var chalAllocsRe = regexp.MustCompile(`(\d+(?:\.\d+)?) allocs/op`)
+
+func chalBench(pkg, name string, count int, benchtime string) (*chalResult, error) {
+	fmt.Printf("running %s -bench %s, %d×%s...\n", pkg, name, count, benchtime)
+	cmd := exec.Command("go", "test", pkg, "-run", "^$",
+		"-bench", "^"+name+"$", "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test %s: %w\n%s", pkg, err, out)
+	}
+	nameRe := regexp.MustCompile(`(?m)^` + name + `\S*\s+\d+\s+(\d+(?:\.\d+)?) ns/op.*$`)
+	r := &chalResult{}
+	for _, m := range nameRe.FindAllStringSubmatch(string(out), -1) {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			r.nsOp = append(r.nsOp, v)
+		}
+		if a := chalAllocsRe.FindStringSubmatch(m[0]); a != nil {
+			if v, err := strconv.ParseFloat(a[1], 64); err == nil {
+				r.allocsOp = append(r.allocsOp, v)
+			}
+		}
+	}
+	if len(r.nsOp) == 0 {
+		return nil, fmt.Errorf("no %s ns/op samples in benchmark output:\n%s", name, out)
+	}
+	return r, nil
+}

@@ -32,7 +32,7 @@ const (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json; BENCH_dataplane.json with -dataplane; BENCH_scale.json with -scale; BENCH_health.json with -health; BENCH_tsdb.json with -tsdb)")
+		baseline  = flag.String("baseline", "", "baseline file holding the pinned samples (default BENCH_kernel.json; BENCH_dataplane.json with -dataplane; BENCH_scale.json with -scale; BENCH_health.json with -health; BENCH_tsdb.json with -tsdb; BENCH_challenge.json with -challenge)")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional regression of best ns/op (of B/op with -dataplane)")
 		timeTol   = flag.Float64("time-tolerance", 0.50, "with -dataplane: allowed fractional regression of best ns/op; wall clock on shared hosts jitters far more than allocations, tighten on quiet hardware")
 		count     = flag.Int("count", 3, "benchmark repetitions (best of N)")
@@ -42,10 +42,17 @@ func main() {
 		scale     = flag.Bool("scale", false, "guard the sharded dispatch-plane scale benchmarks instead of the simulation kernel")
 		healthOn  = flag.Bool("health", false, "guard the fleet health plane: 100-endpoint scrape/merge cost, disabled-path allocations, and kernel overhead vs BENCH_kernel.json")
 		tsdbOn    = flag.Bool("tsdb", false, "guard the embedded time-series store: zero-alloc steady append, hub-workload bytes/sample, 1M-sample query latency")
+		chalOn    = flag.Bool("challenge", false, "guard the data-challenge throughput plane: striped-vs-single fetch speedup, squid peer-hit latency, paper-scale extrapolation")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *chalOn:
+		path := *baseline
+		if path == "" {
+			path = "BENCH_challenge.json"
+		}
+		err = runChallengeGuard(path, *timeTol, *count, *update)
 	case *tsdbOn:
 		path := *baseline
 		if path == "" {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lobster/internal/sim"
+	"lobster/internal/xrootd"
+)
+
+// runChallenge drives the throughput plane the way the 200 Gbps data
+// challenge drives a facility: first the real plane on loopback — one
+// client striping a large file across link-throttled replicas, against
+// the single-replica baseline — then the sim plane extrapolating the
+// measured per-stream bandwidth to paper-scale link counts under naive
+// and bandwidth-aware stream placement.
+func runChallenge(scale float64) error {
+	size := int64(float64(256<<20) * scale)
+	if size < 32<<20 {
+		size = 32 << 20
+	}
+	const (
+		replicas = 4
+		linkBps  = 512 << 20
+		lfn      = "/store/challenge.root"
+	)
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte(i * 31)
+	}
+	red := xrootd.NewRedirector()
+	for i := 0; i < replicas; i++ {
+		srv, err := xrootd.NewDataServer(fmt.Sprintf("T2_CH_%d", i), "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		srv.SetThrottle(linkBps)
+		red.Register(lfn, srv.Store(lfn, content))
+	}
+	cl := &xrootd.Client{Redirector: red, Dashboard: xrootd.NewDashboard(),
+		Consumer: "challenge", Selector: xrootd.NewSelector()}
+
+	fmt.Printf("== Data challenge: loopback real plane (%d MiB file, %d replicas, %d MiB/s per link) ==\n",
+		size>>20, replicas, linkBps>>20)
+	single, err := timeFetch(func(w io.Writer) (int64, error) { return cl.FetchTo(lfn, w) }, size)
+	if err != nil {
+		return err
+	}
+	cfg := xrootd.StripeConfig{}
+	striped, err := timeFetch(func(w io.Writer) (int64, error) { return cl.FetchToStriped(lfn, w, cfg) }, size)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single  1 replica   %8.1f MB/s\n", single)
+	fmt.Printf("striped %d replicas  %8.1f MB/s  (%.2fx)\n", replicas, striped, striped/single)
+
+	// Extrapolate with the per-stream bandwidth the real plane just
+	// measured (4 streams share the striped aggregate).
+	ccfg := sim.DefaultChallengeConfig()
+	ccfg.StreamGbps = striped / float64(ccfg.StreamsPerClient) * 8 / 1000
+	points, err := sim.SimulateChallenge(ccfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== Data challenge: sim-plane extrapolation (%.0f Gbit/s links, %.2f Gbit/s measured per stream) ==\n",
+		ccfg.LinkGbps, ccfg.StreamGbps)
+	fmt.Printf("%6s %8s %8s %12s %14s %12s %6s\n",
+		"links", "clients", "streams", "naive Gbps", "selector Gbps", "GB/s", "util")
+	for _, p := range points {
+		fmt.Printf("%6d %8d %8d %12.1f %14.1f %12.1f %5.0f%%\n",
+			p.Links, p.Clients, p.Streams, p.NaiveGbps, p.AggregateGbps, p.AggregateGBps,
+			100*p.LinkUtilisation)
+	}
+	return nil
+}
+
+// timeFetch runs one fetch to io.Discard and returns MB/s.
+func timeFetch(fetch func(io.Writer) (int64, error), size int64) (float64, error) {
+	start := time.Now()
+	n, err := fetch(io.Discard)
+	if err != nil {
+		return 0, err
+	}
+	if n != size {
+		return 0, fmt.Errorf("challenge fetch returned %d bytes, want %d", n, size)
+	}
+	return float64(n) / 1e6 / time.Since(start).Seconds(), nil
+}

@@ -61,6 +61,11 @@ type ClientOptions struct {
 	// Telemetry, when non-nil, counts payload bytes this client moves
 	// under lobster_bytes_total{component="chirp_client"}.
 	Telemetry *telemetry.Registry
+	// Site, when set, stamps the remote storage site on those byte
+	// series (lobster_bytes_total{...,site=Site}) — the per-site
+	// accounting axis of the paper's Figure 9. Empty leaves the label
+	// off.
+	Site string
 }
 
 // Dial connects to a chirp server.
@@ -85,8 +90,8 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 		r:         bufio.NewReaderSize(conn, 64<<10),
 		w:         bufio.NewWriterSize(conn, 64<<10),
 		opTimeout: opts.OpTimeout,
-		bytesIn:   opts.Telemetry.Bytes("chirp_client", telemetry.DirIn),
-		bytesOut:  opts.Telemetry.Bytes("chirp_client", telemetry.DirOut),
+		bytesIn:   opts.Telemetry.SiteBytes("chirp_client", telemetry.DirIn, opts.Site),
+		bytesOut:  opts.Telemetry.SiteBytes("chirp_client", telemetry.DirOut, opts.Site),
 	}, nil
 }
 

@@ -43,6 +43,8 @@ type Dialer struct {
 	// Telemetry, when non-nil, counts payload bytes under
 	// lobster_bytes_total{component="chirp_client"}.
 	Telemetry *telemetry.Registry
+	// Site, when set, stamps the remote storage site on the byte series.
+	Site string
 }
 
 // Do dials, runs fn, closes, retrying transport failures under the
@@ -54,6 +56,7 @@ func (d *Dialer) Do(fn func(*Client) error) error {
 			OpTimeout:   d.OpTimeout,
 			Fault:       d.Fault,
 			Telemetry:   d.Telemetry,
+			Site:        d.Site,
 		})
 		if err != nil {
 			return err

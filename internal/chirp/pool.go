@@ -43,6 +43,10 @@ type PoolOptions struct {
 	// Telemetry, when non-nil, instruments the pool (dial/reuse
 	// counters) and the payload byte counters of every connection.
 	Telemetry *telemetry.Registry
+	// Site, when set, stamps the remote storage site on every
+	// connection's byte series — one pool per storage element is the
+	// natural shape, so the pool is where the site is known.
+	Site string
 }
 
 // PoolStats is a snapshot of pool counters.
@@ -202,6 +206,7 @@ func (p *Pool) conn(allowReuse bool) (c *Client, reused bool, err error) {
 		OpTimeout:   p.opts.OpTimeout,
 		Fault:       p.opts.Fault,
 		Telemetry:   p.opts.Telemetry,
+		Site:        p.opts.Site,
 	})
 	if err != nil {
 		return nil, false, err

@@ -24,10 +24,10 @@ func benchPage(seed int) []byte {
 	reg.Gauge("lobster_wq_tasks_waiting", "tasks waiting").Set(float64(seed % 16))
 	reg.Gauge("lobster_cluster_pilots_up", "pilots up").Set(float64(seed%900 + 100))
 	reg.Gauge("lobster_chirp_queued_connections", "chirp waiters").Set(float64(seed % 4))
-	by := reg.CounterVec("lobster_bytes_total", "bytes moved", "component", "direction")
+	by := reg.CounterVec("lobster_bytes_total", "bytes moved", "component", "direction", "site")
 	for _, c := range []string{"chirp", "xrootd", "squid", "wq"} {
-		by.With(c, "in").Add(int64(seed * 1024))
-		by.With(c, "out").Add(int64(seed * 512))
+		by.With(c, "in", "").Add(int64(seed * 1024))
+		by.With(c, "out", "").Add(int64(seed * 512))
 	}
 	depth := reg.GaugeVec("lobster_wq_shard_queue_depth", "ready tasks per shard", "shard")
 	for i := 0; i < 16; i++ {

@@ -1,0 +1,177 @@
+package parrot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"lobster/internal/bufpool"
+)
+
+// ReadAhead tunes OpenPrefetch. The zero value reads 256 KiB chunks
+// with 4 chunks of pipeline depth — enough to hide one disk or NFS
+// round trip behind the consumer's processing of the previous chunk.
+type ReadAhead struct {
+	// Chunk is the read size per pipeline step (default 256 KiB,
+	// capped at the shared pool's chunk size).
+	Chunk int
+	// Depth is how many chunks the prefetcher may run ahead of the
+	// reader (default 4). It bounds the pipeline's memory to
+	// Depth×Chunk of pooled buffers.
+	Depth int
+}
+
+func (ra ReadAhead) chunk() int {
+	if ra.Chunk > 0 && ra.Chunk <= bufpool.ChunkSize {
+		return ra.Chunk
+	}
+	if ra.Chunk > bufpool.ChunkSize {
+		return bufpool.ChunkSize
+	}
+	return 256 << 10
+}
+
+func (ra ReadAhead) depth() int {
+	if ra.Depth > 0 {
+		return ra.Depth
+	}
+	return 4
+}
+
+// raChunk is one prefetched span of the object on its way to Read.
+type raChunk struct {
+	buf *[]byte
+	n   int
+	err error // io.EOF after the last byte, or the read error
+}
+
+// ObjectReader streams a cached object with asynchronous read-ahead: a
+// prefetch goroutine stays Depth chunks ahead of the consumer, so the
+// sequential read pattern of a physics task (open, scan forward, close)
+// overlaps file I/O with event processing instead of alternating them.
+// Not safe for concurrent use; Close releases the pipeline's buffers.
+type ObjectReader struct {
+	ch   chan raChunk
+	stop chan struct{}
+	cur  raChunk
+	off  int
+	size int64
+	done bool
+	err  error // terminal result once done (io.EOF or the read error)
+}
+
+// OpenPrefetch opens the cached object for pipelined sequential
+// reading. The object must already be cached (it returns
+// fs.ErrNotExist otherwise) — pair with GetOrFetch for population;
+// this is the replay path where a task re-reads what staging already
+// installed.
+func (i *Instance) OpenPrefetch(hash string, ra ReadAhead) (*ObjectReader, error) {
+	f, err := os.Open(i.objectPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("parrot: stat cached object: %w", err)
+	}
+	i.stats.Hits++
+	r := &ObjectReader{
+		ch:   make(chan raChunk, ra.depth()),
+		stop: make(chan struct{}),
+		size: st.Size(),
+	}
+	go r.prefetch(f, ra.chunk())
+	return r, nil
+}
+
+// prefetch reads the file into pooled chunks until EOF, error, or Close.
+func (r *ObjectReader) prefetch(f *os.File, chunkSize int) {
+	defer f.Close()
+	for {
+		buf := bufpool.Get()
+		n, err := io.ReadFull(f, (*buf)[:chunkSize])
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.EOF // short final chunk: deliver it, then stop
+		}
+		if n == 0 {
+			bufpool.Put(buf)
+			if err == nil {
+				err = io.EOF
+			}
+			select {
+			case r.ch <- raChunk{err: err}:
+			case <-r.stop:
+			}
+			close(r.ch)
+			return
+		}
+		select {
+		case r.ch <- raChunk{buf: buf, n: n, err: err}:
+		case <-r.stop:
+			bufpool.Put(buf)
+			close(r.ch)
+			return
+		}
+		if err != nil {
+			close(r.ch)
+			return
+		}
+	}
+}
+
+// Size returns the object's size in bytes.
+func (r *ObjectReader) Size() int64 { return r.size }
+
+// Read implements io.Reader over the prefetched pipeline. A chunk
+// that arrived with an error still delivers its bytes; the error (or
+// io.EOF) surfaces on the following call.
+func (r *ObjectReader) Read(p []byte) (int, error) {
+	for {
+		if r.cur.buf != nil {
+			n := copy(p, (*r.cur.buf)[r.off:r.cur.n])
+			r.off += n
+			if r.off == r.cur.n {
+				bufpool.Put(r.cur.buf)
+				if ferr := r.cur.err; ferr != nil {
+					r.done, r.err = true, ferr
+				}
+				r.cur, r.off = raChunk{}, 0
+			}
+			return n, nil
+		}
+		if r.done {
+			return 0, r.err
+		}
+		c, ok := <-r.ch
+		if !ok {
+			r.done, r.err = true, io.EOF
+			return 0, io.EOF
+		}
+		if c.buf == nil {
+			r.done, r.err = true, c.err
+			if r.err == nil {
+				r.err = io.EOF
+			}
+			return 0, r.err
+		}
+		r.cur, r.off = c, 0
+	}
+}
+
+// Close tears the pipeline down and returns its buffers to the pool.
+func (r *ObjectReader) Close() error {
+	if r.cur.buf != nil {
+		bufpool.Put(r.cur.buf)
+		r.cur = raChunk{}
+	}
+	if !r.done {
+		close(r.stop)
+		for c := range r.ch {
+			bufpool.Put(c.buf)
+		}
+		r.done = true
+	}
+	return nil
+}

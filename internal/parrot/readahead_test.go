@@ -1,0 +1,103 @@
+package parrot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"testing"
+)
+
+func TestOpenPrefetchRoundTrip(t *testing.T) {
+	cache, err := NewCache(t.TempDir(), ModeAlien)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cache.Instance("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 3<<20+777) // not chunk-aligned
+	rand.New(rand.NewSource(1)).Read(content)
+	if _, _, err := inst.GetOrFetch("abc123", func() ([]byte, error) {
+		return content, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := inst.OpenPrefetch("abc123", ReadAhead{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != int64(len(content)) {
+		t.Fatalf("Size = %d, want %d", r.Size(), len(content))
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("prefetched read differs from cached object")
+	}
+	// Reads past EOF keep returning EOF.
+	if n, err := r.Read(make([]byte, 8)); n != 0 || err != io.EOF {
+		t.Fatalf("read past EOF = %d, %v", n, err)
+	}
+}
+
+func TestOpenPrefetchOddGeometries(t *testing.T) {
+	cache, _ := NewCache(t.TempDir(), ModePerInstance)
+	inst, _ := cache.Instance("w0")
+	rng := rand.New(rand.NewSource(2))
+	for _, size := range []int{0, 1, 100, 64 << 10, 256 << 10, 256<<10 + 1} {
+		content := make([]byte, size)
+		rng.Read(content)
+		hash := string(rune('a' + size%26))
+		if err := inst.writeObject(hash, content); err != nil {
+			t.Fatal(err)
+		}
+		r, err := inst.OpenPrefetch(hash, ReadAhead{Chunk: 64 << 10, Depth: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("size %d: err=%v match=%v", size, err, bytes.Equal(got, content))
+		}
+	}
+}
+
+func TestOpenPrefetchMissIsNotExist(t *testing.T) {
+	cache, _ := NewCache(t.TempDir(), ModeAlien)
+	inst, _ := cache.Instance("w0")
+	if _, err := inst.OpenPrefetch("nope", ReadAhead{}); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("miss error = %v, want not-exist", err)
+	}
+}
+
+func TestOpenPrefetchEarlyClose(t *testing.T) {
+	cache, _ := NewCache(t.TempDir(), ModeAlien)
+	inst, _ := cache.Instance("w0")
+	content := make([]byte, 2<<20)
+	if err := inst.writeObject("h", content); err != nil {
+		t.Fatal(err)
+	}
+	r, err := inst.OpenPrefetch("h", ReadAhead{Chunk: 32 << 10, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Closing mid-stream must not leak or deadlock the prefetcher.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}

@@ -3,7 +3,7 @@ package telemetry
 // BytesTotalName is the shared data-plane byte counter family. Every
 // component that moves payload bytes (chirp client/server, xrootd,
 // squid, wq staging) registers its series here, so one query shows
-// where the bytes flow: lobster_bytes_total{component,direction}.
+// where the bytes flow: lobster_bytes_total{component,direction,site}.
 const BytesTotalName = "lobster_bytes_total"
 
 // Directions for the lobster_bytes_total counters, from the component's
@@ -13,14 +13,34 @@ const (
 	DirOut = "out"
 )
 
+// bytesVec registers (or finds) the shared family. The site label names
+// the remote storage site the bytes crossed to or from (the Fig 9
+// accounting axis); components that don't know their peer's site leave
+// it empty, which Prometheus treats as the label being absent.
+func (r *Registry) bytesVec() *CounterVec {
+	return r.CounterVec(BytesTotalName,
+		"Payload bytes moved by the data plane, by component, direction and remote site.",
+		"component", "direction", "site")
+}
+
 // Bytes returns the lobster_bytes_total series for one component and
-// direction. The nil registry returns the nil (no-op) counter, so call
-// sites can hold the result unconditionally on hot paths.
+// direction, with no site attribution. The nil registry returns the nil
+// (no-op) counter, so call sites can hold the result unconditionally on
+// hot paths.
 func (r *Registry) Bytes(component, direction string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.CounterVec(BytesTotalName,
-		"Payload bytes moved by the data plane, by component and direction.",
-		"component", "direction").With(component, direction)
+	return r.bytesVec().With(component, direction, "")
+}
+
+// SiteBytes is Bytes with the remote site stamped, feeding the per-site
+// bandwidth accounting the replica selector and the Figure 9 dashboard
+// consume. Resolve once per site on hot paths; the family's cardinality
+// bound caps a runaway site-label explosion at the registry default.
+func (r *Registry) SiteBytes(component, direction, site string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.bytesVec().With(component, direction, site)
 }

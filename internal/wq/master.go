@@ -60,9 +60,7 @@ type Master struct {
 	workersMu sync.Mutex
 	workers   map[*workerConn]bool
 
-	resMu   sync.Mutex
-	resCond *sync.Cond
-	results []*Result
+	res *resultTable
 
 	statsSeen, statsLost, statsDone, statsFailed atomic.Int64
 	statsRequeues, statsDispatched               atomic.Int64
@@ -157,12 +155,7 @@ func (m *Master) Instrument(reg *telemetry.Registry) {
 		func() float64 { return float64(m.Stats().CoresConnected) })
 	reg.GaugeFunc("lobster_wq_results_pending",
 		"Results received from workers and not yet collected by WaitResult.",
-		func() float64 {
-			m.resMu.Lock()
-			n := len(m.results)
-			m.resMu.Unlock()
-			return float64(n)
-		})
+		func() float64 { return float64(m.res.pending.Load()) })
 
 	// Dispatch-plane instruments: per-shard queue depths for the skew
 	// detectors, steal/park/wake counters for the idle-gate economics, and
@@ -243,9 +236,9 @@ func NewMaster(addr string) (*Master, error) {
 	m := &Master{
 		lis:     lis,
 		d:       newDispatchTable(),
+		res:     newResultTable(),
 		workers: make(map[*workerConn]bool),
 	}
-	m.resCond = sync.NewCond(&m.resMu)
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
@@ -347,9 +340,7 @@ func (m *Master) Stats() MasterStats {
 		}
 	}
 	m.workersMu.Unlock()
-	m.resMu.Lock()
-	s.ResultsPending = len(m.results)
-	m.resMu.Unlock()
+	s.ResultsPending = int(m.res.pending.Load())
 	return s
 }
 
@@ -358,61 +349,48 @@ func (m *Master) Stats() MasterStats {
 // master close with no pending results.
 func (m *Master) WaitResult(timeout time.Duration) (*Result, bool) {
 	var deadline time.Time
+	var expired atomic.Bool
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
-		// Wake the condition periodically so timeouts are honoured.
+		// Wake the idle gate when the deadline lands so the timeout is
+		// honoured even with no arrivals.
 		timer := time.AfterFunc(timeout, func() {
-			m.resMu.Lock()
-			m.resCond.Broadcast()
-			m.resMu.Unlock()
+			expired.Store(true)
+			m.res.wakeAll()
 		})
 		defer timer.Stop()
 	}
-	m.resMu.Lock()
-	defer m.resMu.Unlock()
-	for len(m.results) == 0 {
+	for {
+		if r, ok := m.res.pop(); ok {
+			return r, true
+		}
 		if m.closed.Load() {
 			return nil, false
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return nil, false
 		}
-		m.resCond.Wait()
+		m.res.park(func() bool { return expired.Load() || m.closed.Load() })
 	}
-	r := m.results[0]
-	m.results = m.results[1:]
-	return r, true
 }
 
 // takeResults moves up to len(dst) already-arrived results into dst
 // without blocking, returning the count. The batch analogue of a
-// non-blocking WaitResult: a drainer sweeps whatever a results batch
-// delivered in one lock acquisition.
+// non-blocking WaitResult: a drainer sweeps whatever the result stripes
+// hold.
 func (m *Master) takeResults(dst []*Result) int {
-	m.resMu.Lock()
-	n := copy(dst, m.results)
-	m.results = m.results[n:]
-	m.resMu.Unlock()
-	return n
+	return m.res.popN(dst)
 }
 
 // pushResult records a completed task outcome.
 func (m *Master) pushResult(r *Result) {
-	m.resMu.Lock()
-	m.results = append(m.results, r)
-	m.resCond.Broadcast()
-	m.resMu.Unlock()
+	m.res.push(r)
 }
 
-// pushResults records a batch of outcomes under one lock acquisition.
+// pushResults records a batch of outcomes under one stripe-lock
+// acquisition.
 func (m *Master) pushResults(rs []*Result) {
-	if len(rs) == 0 {
-		return
-	}
-	m.resMu.Lock()
-	m.results = append(m.results, rs...)
-	m.resCond.Broadcast()
-	m.resMu.Unlock()
+	m.res.pushBatch(rs)
 }
 
 // Close shuts the master down. Queued and running tasks are abandoned.
@@ -430,9 +408,7 @@ func (m *Master) Close() error {
 	}
 	m.workersMu.Unlock()
 	m.d.wakeAll()
-	m.resMu.Lock()
-	m.resCond.Broadcast()
-	m.resMu.Unlock()
+	m.res.wakeAll()
 	err := m.lis.Close()
 	m.wg.Wait()
 	return err

@@ -1,0 +1,152 @@
+package wq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The result queue mirrors the dispatch plane's striping: every worker
+// connection's readLoop pushes completed-task results, and a single
+// mutex there serialises the whole return path of a 10k-core fleet the
+// same way a single dispatch lock would serialise the outbound one.
+// Results stripe over shardCount lock-free-length rings; pushes pick a
+// stripe by power-of-two-choices, collectors sweep from a rotating
+// start so no stripe is structurally favoured. Strict arrival order is
+// not preserved across stripes — callers already cannot rely on it,
+// since results race in from many connections concurrently.
+//
+// Waiters park on one idle gate that pushes only touch when sleepers
+// exist, so the full-throughput path (results always pending, Drain
+// sweeping) costs the pushing readLoop one stripe lock and two atomics.
+
+// resultQueue is one stripe of the arrived-result queue.
+type resultQueue struct {
+	mu   sync.Mutex
+	q    ring[*Result]
+	size atomic.Int64
+	_    [24]byte // keep neighbouring stripes off one cache line
+}
+
+// resultTable is the sharded result-plane state.
+type resultTable struct {
+	queues [shardCount]resultQueue
+
+	pending  atomic.Int64 // total queued results across all stripes
+	sleepers atomic.Int32 // WaitResult callers parked for arrivals
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	rng      atomic.Uint64 // splitmix64 state for power-of-two-choices
+	rotor    atomic.Uint32 // sweep start rotation for collectors
+}
+
+func newResultTable() *resultTable {
+	t := &resultTable{}
+	t.idleCond = sync.NewCond(&t.idleMu)
+	t.rng.Store(0x9e3779b97f4a7c15)
+	return t
+}
+
+// push records one result on the shorter of two random stripes.
+func (t *resultTable) push(r *Result) {
+	x := splitmixNext(&t.rng)
+	i := uint32(x) & (shardCount - 1)
+	j := uint32(x>>32) & (shardCount - 1)
+	q := &t.queues[i]
+	if t.queues[j].size.Load() < q.size.Load() {
+		q = &t.queues[j]
+	}
+	q.mu.Lock()
+	q.q.push(r)
+	q.mu.Unlock()
+	q.size.Add(1)
+	t.pending.Add(1)
+	t.wakeSleepers()
+}
+
+// pushBatch records a batch under one stripe-lock acquisition: a
+// results frame from one worker stays together, and the batch costs
+// what a single push does.
+func (t *resultTable) pushBatch(rs []*Result) {
+	if len(rs) == 0 {
+		return
+	}
+	x := splitmixNext(&t.rng)
+	i := uint32(x) & (shardCount - 1)
+	j := uint32(x>>32) & (shardCount - 1)
+	q := &t.queues[i]
+	if t.queues[j].size.Load() < q.size.Load() {
+		q = &t.queues[j]
+	}
+	q.mu.Lock()
+	for _, r := range rs {
+		q.q.push(r)
+	}
+	q.mu.Unlock()
+	q.size.Add(int64(len(rs)))
+	t.pending.Add(int64(len(rs)))
+	t.wakeSleepers()
+}
+
+// popN fills dst from the stripes, sweeping from a rotating start.
+func (t *resultTable) popN(dst []*Result) int {
+	if t.pending.Load() == 0 {
+		return 0
+	}
+	start := t.rotor.Add(1)
+	got := 0
+	for k := uint32(0); k < shardCount && got < len(dst); k++ {
+		q := &t.queues[(start+k)&(shardCount-1)]
+		if q.size.Load() == 0 {
+			continue
+		}
+		q.mu.Lock()
+		n := q.q.popN(dst[got:])
+		q.mu.Unlock()
+		if n > 0 {
+			q.size.Add(int64(-n))
+			t.pending.Add(int64(-n))
+			got += n
+		}
+	}
+	return got
+}
+
+// pop takes one result if any stripe has one.
+func (t *resultTable) pop() (*Result, bool) {
+	var one [1]*Result
+	if t.popN(one[:]) == 1 {
+		return one[0], true
+	}
+	return nil, false
+}
+
+// wakeSleepers wakes parked waiters. The sleeper check here and the
+// pending re-check in park are both sequentially-consistent atomics, so
+// a waiter either sees the new result before parking or is woken.
+func (t *resultTable) wakeSleepers() {
+	if t.sleepers.Load() > 0 {
+		t.idleMu.Lock()
+		t.idleCond.Broadcast()
+		t.idleMu.Unlock()
+	}
+}
+
+// wakeAll unconditionally wakes every parked waiter (close, timeout).
+func (t *resultTable) wakeAll() {
+	t.idleMu.Lock()
+	t.idleCond.Broadcast()
+	t.idleMu.Unlock()
+}
+
+// park blocks until a result may be available or stop() reports the
+// caller should give up. The caller re-checks its own conditions after
+// park returns.
+func (t *resultTable) park(stop func() bool) {
+	t.sleepers.Add(1)
+	t.idleMu.Lock()
+	for t.pending.Load() == 0 && !stop() {
+		t.idleCond.Wait()
+	}
+	t.idleMu.Unlock()
+	t.sleepers.Add(-1)
+}

@@ -57,9 +57,9 @@ func (r ScaleReport) String() string {
 func newLocalMaster() *Master {
 	m := &Master{
 		d:       newDispatchTable(),
+		res:     newResultTable(),
 		workers: make(map[*workerConn]bool),
 	}
-	m.resCond = sync.NewCond(&m.resMu)
 	return m
 }
 

@@ -48,45 +48,48 @@ func releaseMeta(m *taskMeta) {
 	metaPool.Put(m)
 }
 
-// taskRing is a growable FIFO ring of queued tasks: push at tail, pop at
-// head, amortised zero allocation once warmed to the high-water mark.
-type taskRing struct {
-	buf  []*taskMeta
+// ring is a growable FIFO ring: push at tail, pop at head, amortised
+// zero allocation once warmed to the high-water mark. Both the dispatch
+// queues (of *taskMeta) and the result queues (of *Result) stripe over
+// it.
+type ring[T any] struct {
+	buf  []T
 	head int
 	n    int
 }
 
-func (r *taskRing) push(m *taskMeta) {
+func (r *ring[T]) push(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
 	r.n++
 }
 
-func (r *taskRing) grow() {
+func (r *ring[T]) grow() {
 	size := len(r.buf) * 2
 	if size == 0 {
 		size = 64
 	}
-	buf := make([]*taskMeta, size)
+	buf := make([]T, size)
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}
 	r.buf, r.head = buf, 0
 }
 
-// popN moves up to len(dst) tasks into dst, returning the count.
-func (r *taskRing) popN(dst []*taskMeta) int {
+// popN moves up to len(dst) values into dst, returning the count.
+func (r *ring[T]) popN(dst []T) int {
 	n := len(dst)
 	if n > r.n {
 		n = r.n
 	}
+	var zero T
 	mask := len(r.buf) - 1
 	for i := 0; i < n; i++ {
 		j := (r.head + i) & mask
 		dst[i] = r.buf[j]
-		r.buf[j] = nil
+		r.buf[j] = zero
 	}
 	r.head = (r.head + n) & mask
 	r.n -= n
@@ -104,7 +107,7 @@ type stateShard struct {
 // power-of-two-choices and steal scans read lengths without locking.
 type dispatchQueue struct {
 	mu    sync.Mutex
-	ready taskRing
+	ready ring[*taskMeta]
 	size  atomic.Int64
 	_     [24]byte
 }
@@ -160,13 +163,13 @@ func (d *dispatchTable) stateOf(id int64) *stateShard {
 	return &d.state[uint64(id)&(shardCount-1)]
 }
 
-// nextRand is a splitmix64 step: cheap, lock-free, good enough to spread
-// power-of-two-choices across the queues.
-func (d *dispatchTable) nextRand() uint64 {
+// splitmixNext is a splitmix64 step over shared state: cheap, lock-free,
+// good enough to spread power-of-two-choices across striped queues.
+func splitmixNext(rng *atomic.Uint64) uint64 {
 	for {
-		old := d.rng.Load()
+		old := rng.Load()
 		x := old + 0x9e3779b97f4a7c15
-		if d.rng.CompareAndSwap(old, x) {
+		if rng.CompareAndSwap(old, x) {
 			x ^= x >> 30
 			x *= 0xbf58476d1ce4e5b9
 			x ^= x >> 27
@@ -175,6 +178,8 @@ func (d *dispatchTable) nextRand() uint64 {
 		}
 	}
 }
+
+func (d *dispatchTable) nextRand() uint64 { return splitmixNext(&d.rng) }
 
 // enqueue places a ready task on a queue chosen by power-of-two-choices
 // and wakes a parked dispatcher if any exist.

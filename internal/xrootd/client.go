@@ -3,6 +3,7 @@ package xrootd
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -44,8 +45,14 @@ type Client struct {
 	// plane under component "xrootd_client".
 	Fault *faultinject.Injector
 	// Telemetry, when non-nil, counts fetched payload bytes under
-	// lobster_bytes_total{component="xrootd_client"}.
+	// lobster_bytes_total{component="xrootd_client",site=...}, one
+	// series per serving site — the Figure 9 accounting shape.
 	Telemetry *telemetry.Registry
+	// Selector, when non-nil, orders Locate results by observed
+	// bandwidth and sheds consistently slow or failing replicas. Every
+	// completed transfer feeds it; share one selector across the
+	// clients of a consumer so the EWMAs see all streams.
+	Selector *Selector
 
 	tracer *trace.Tracer
 	parent trace.Context
@@ -77,6 +84,7 @@ type File struct {
 	w      *bufio.Writer
 	broken bool
 	addr   string
+	rep    Replica // the replica serving this connection
 }
 
 // fail closes the connection after a transport failure and returns err.
@@ -132,6 +140,7 @@ func (c *Client) openPass(lfn string, sp *trace.Span) (*File, error) {
 		// An unknown LFN will stay unknown: no point re-asking.
 		return nil, retry.Permanent(err)
 	}
+	reps = c.Selector.Order(reps)
 	var firstErr error
 	allPermanent := true
 	for i, rep := range reps {
@@ -164,6 +173,7 @@ func (c *Client) openAt(lfn string, rep Replica) (*File, error) {
 	}
 	conn, err := net.DialTimeout("tcp", rep.Addr, timeout)
 	if err != nil {
+		c.Selector.ObserveError(rep)
 		return nil, fmt.Errorf("xrootd: dialing %s: %w", rep.Addr, err)
 	}
 	conn = c.Fault.Conn("xrootd_client", conn)
@@ -174,41 +184,54 @@ func (c *Client) openAt(lfn string, rep Replica) (*File, error) {
 		r:      bufio.NewReaderSize(conn, 64<<10),
 		w:      bufio.NewWriterSize(conn, 8<<10),
 		addr:   rep.Addr,
+		rep:    rep,
 	}
 	size, err := f.roundTripSize("open %s\n", lfn)
 	if err != nil {
 		f.fail(err)
+		c.Selector.ObserveError(rep)
 		return nil, err
 	}
 	f.size = size
 	return f, nil
 }
 
-// roundTripSize sends one command and parses a numeric first response
-// line. Transport failures close the connection; a "-1" response maps
-// to *ServerError (permanent, connection intact); a non-numeric
-// response maps to *ProtocolError (permanent, connection closed).
-func (f *File) roundTripSize(format string, args ...any) (int64, error) {
+// roundTripLine sends one command and returns the trimmed first
+// response line. Transport failures close the connection; a "-1"
+// response maps to *ServerError (permanent, connection intact — no
+// payload follows an error line).
+func (f *File) roundTripLine(format string, args ...any) (string, error) {
 	if f.broken {
-		return 0, errBroken
+		return "", errBroken
 	}
 	if t := f.client.OpTimeout; t > 0 {
 		f.conn.SetDeadline(time.Now().Add(t))
 	}
 	if _, err := fmt.Fprintf(f.w, format, args...); err != nil {
-		return 0, f.fail(err)
+		return "", f.fail(err)
 	}
 	if err := f.w.Flush(); err != nil {
-		return 0, f.fail(err)
+		return "", f.fail(err)
 	}
 	line, err := f.r.ReadString('\n')
 	if err != nil {
-		return 0, f.fail(fmt.Errorf("xrootd: reading response: %w", err))
+		return "", f.fail(fmt.Errorf("xrootd: reading response: %w", err))
 	}
 	line = strings.TrimRight(line, "\r\n")
 	if strings.HasPrefix(line, "-1") {
-		return 0, &ServerError{Replica: f.addr,
+		return "", &ServerError{Replica: f.addr,
 			Msg: strings.TrimSpace(strings.TrimPrefix(line, "-1"))}
+	}
+	return line, nil
+}
+
+// roundTripSize is roundTripLine for the numeric responses: a
+// non-numeric line maps to *ProtocolError (permanent, connection
+// closed — the stream is desynchronised).
+func (f *File) roundTripSize(format string, args ...any) (int64, error) {
+	line, err := f.roundTripLine(format, args...)
+	if err != nil {
+		return 0, err
 	}
 	n, err := strconv.ParseInt(line, 10, 64)
 	if err != nil {
@@ -217,6 +240,28 @@ func (f *File) roundTripSize(format string, args ...any) (int64, error) {
 		return 0, perr
 	}
 	return n, nil
+}
+
+// Stat asks the replica for the file's size and whole-content CRC32.
+// ok is false when the server predates the stat command (it answered
+// "-1 unknown command"); the connection stays usable either way unless
+// a transport or protocol error is returned.
+func (f *File) Stat() (size int64, crc uint32, ok bool, err error) {
+	line, err := f.roundTripLine("stat %s\n", f.lfn)
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) {
+			return f.size, 0, false, nil
+		}
+		return 0, 0, false, err
+	}
+	var c64 uint64
+	if _, serr := fmt.Sscanf(line, "%d %x", &size, &c64); serr != nil || c64 > 1<<32-1 {
+		perr := &ProtocolError{Replica: f.addr, Msg: fmt.Sprintf("bad stat response %q", line)}
+		f.fail(perr)
+		return 0, 0, false, perr
+	}
+	return size, uint32(c64), true, nil
 }
 
 // Size returns the file size.
@@ -302,8 +347,10 @@ func (c *Client) FetchTo(lfn string, w io.Writer) (int64, error) {
 	defer sp.End()
 	var written int64
 	err := c.Retry.Do(func() error {
-		n, err := c.fetchToOnce(lfn, w, written, sp)
+		startT := time.Now()
+		n, rep, err := c.fetchToOnce(lfn, w, written, sp)
 		written += n
+		c.account(rep, n, time.Since(startT), err)
 		return err
 	})
 	sp.AttrInt("bytes", written)
@@ -311,26 +358,41 @@ func (c *Client) FetchTo(lfn string, w io.Writer) (int64, error) {
 		sp.Attr("error", err.Error())
 		return written, err
 	}
-	if reg := c.Telemetry; reg != nil {
-		reg.Bytes("xrootd_client", telemetry.DirIn).Add(written)
-	}
 	return written, nil
 }
 
+// account feeds one attempt's outcome to the selector and the shared
+// byte counter. Bytes are counted per attempt, stamped with the serving
+// site, so a fetch that fails over mid-file attributes each span of
+// bytes to the replica that actually served it.
+func (c *Client) account(rep Replica, n int64, d time.Duration, err error) {
+	if n > 0 {
+		c.Selector.Observe(rep, n, d)
+		if reg := c.Telemetry; reg != nil {
+			reg.SiteBytes("xrootd_client", telemetry.DirIn, rep.Site).Add(n)
+		}
+	}
+	if err != nil && rep.Addr != "" {
+		c.Selector.ObserveError(rep)
+	}
+}
+
 // fetchToOnce performs one fetch attempt starting at offset start,
-// returning how many bytes it delivered to w. The outer policy in
-// FetchTo owns backoff, so the inner open must not retry on its own.
-func (c *Client) fetchToOnce(lfn string, w io.Writer, start int64, sp *trace.Span) (int64, error) {
+// returning how many bytes it delivered to w and the replica that
+// served them (the zero Replica when no replica was even opened). The
+// outer policy in FetchTo owns backoff, so the inner open must not
+// retry on its own.
+func (c *Client) fetchToOnce(lfn string, w io.Writer, start int64, sp *trace.Span) (int64, Replica, error) {
 	inner := *c
 	inner.Retry = retry.Policy{}
 	f, err := inner.openPass(lfn, sp)
 	if err != nil {
-		return 0, err
+		return 0, Replica{}, err
 	}
 	defer f.Close()
 	sp.Attr("replica", f.conn.RemoteAddr().String())
 	if start > f.Size() {
-		return 0, retry.Permanent(fmt.Errorf(
+		return 0, f.rep, retry.Permanent(fmt.Errorf(
 			"xrootd: %s shrank to %d bytes below resume offset %d", lfn, f.Size(), start))
 	}
 	if start > 0 {
@@ -349,14 +411,14 @@ func (c *Client) fetchToOnce(lfn string, w io.Writer, start int64, sp *trace.Spa
 				werr = io.ErrShortWrite
 			}
 			if werr != nil {
-				return n, retry.Permanent(fmt.Errorf("xrootd: writing payload to sink: %w", werr))
+				return n, f.rep, retry.Permanent(fmt.Errorf("xrootd: writing payload to sink: %w", werr))
 			}
 		}
 		if err == io.EOF {
-			return n, nil
+			return n, f.rep, nil
 		}
 		if err != nil {
-			return n, err
+			return n, f.rep, err
 		}
 	}
 }

@@ -1,0 +1,70 @@
+package xrootd
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzDispatch feeds arbitrary protocol lines to the data server's
+// command dispatcher. The dispatcher must never panic, and its framing
+// must stay coherent: an error return means nothing was written (the
+// caller emits "-1 ..." next, which would desync the stream after a
+// partial success reply), and a successful read's "<n>\n" header must
+// be followed by exactly n payload bytes drawn from the stored file.
+func FuzzDispatch(f *testing.F) {
+	f.Add("open /store/a.root")
+	f.Add("open /missing")
+	f.Add("open")
+	f.Add("stat /store/a.root")
+	f.Add("stat /missing")
+	f.Add("read /store/a.root 0 64")
+	f.Add("read /store/a.root 100 9999999")
+	f.Add("read /store/a.root -1 8")
+	f.Add("read /store/a.root 0 -8")
+	f.Add("read /store/a.root 9223372036854775807 9223372036854775807")
+	f.Add("read /store/a.root zero ten")
+	f.Add("read /store/a.root 0")
+	f.Add("  ")
+	f.Add("bogus /store/a.root")
+	f.Add("open /store/a.root extra")
+	f.Fuzz(func(t *testing.T, line string) {
+		s := &DataServer{
+			files: map[string][]byte{"/store/a.root": bytes.Repeat([]byte("x0"), 128)},
+			crcs:  map[string]uint32{"/store/a.root": 0xdeadbeef},
+		}
+		var out bytes.Buffer
+		w := bufio.NewWriter(&out)
+		err := s.dispatch(line, w)
+		w.Flush()
+		if err != nil {
+			if out.Len() != 0 {
+				t.Fatalf("dispatch(%q) failed (%v) after writing %q — the -1 reply would desync the stream", line, err, out.Bytes())
+			}
+			return
+		}
+		header, body, ok := bytes.Cut(out.Bytes(), []byte("\n"))
+		if !ok {
+			t.Fatalf("dispatch(%q) succeeded without a newline-terminated header: %q", line, out.Bytes())
+		}
+		if strings.HasPrefix(line, "read") {
+			n, perr := strconv.Atoi(string(header))
+			if perr != nil || n != len(body) {
+				t.Fatalf("dispatch(%q) framed %d payload bytes under header %q", line, len(body), header)
+			}
+			if n > 256 {
+				t.Fatalf("dispatch(%q) served %d bytes from a 256-byte file", line, n)
+			}
+		}
+		if strings.HasPrefix(line, "stat") {
+			var size int64
+			var crc uint32
+			if _, serr := fmt.Sscanf(string(header), "%d %x", &size, &crc); serr != nil {
+				t.Fatalf("dispatch(%q) stat reply %q does not parse", line, header)
+			}
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package xrootd
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Selector orders replicas by observed bandwidth and sheds the ones
+// that consistently fail or lag far behind their peers. It is the
+// client-side half of the Figure 9 accounting loop: every transfer the
+// client completes feeds an EWMA per replica and per site, and the next
+// Locate consults those EWMAs instead of trusting redirector order.
+//
+// The tracker is deliberately optimistic about the unknown: a replica
+// with no history sorts ahead of every measured one, so new or
+// recovered servers get probed instead of starved. It is safe for
+// concurrent use and intended to be shared by every client of one
+// consumer (the per-site averages only mean something across streams).
+type Selector struct {
+	// Alpha is the EWMA smoothing factor in (0,1]; larger weighs recent
+	// transfers more. Zero means 0.3.
+	Alpha float64
+	// ShedFraction sheds a replica whose bandwidth EWMA sits below this
+	// fraction of the best measured replica (after MinSamples). Zero
+	// means 0.1; negative disables shedding.
+	ShedFraction float64
+	// MinSamples is how many transfers a replica must have answered
+	// before it can be shed for slowness (default 3) — one cold TCP
+	// window must not condemn a site.
+	MinSamples int
+	// ShedErrors sheds a replica after this many consecutive failures
+	// (default 3). Errors also halve the bandwidth EWMA, so a flapping
+	// replica drifts down the order before it is shed outright.
+	ShedErrors int
+
+	mu       sync.Mutex
+	replicas map[string]*linkStats // by replica addr
+	sites    map[string]*linkStats // by site name
+}
+
+// linkStats is the EWMA state of one replica or site.
+type linkStats struct {
+	bw       float64 // bytes/second EWMA, 0 until first sample
+	samples  int
+	errStrk  int // consecutive errors
+	lastSeen time.Time
+}
+
+// NewSelector returns a selector with default tuning.
+func NewSelector() *Selector {
+	return &Selector{}
+}
+
+func (s *Selector) alpha() float64 {
+	if s.Alpha > 0 && s.Alpha <= 1 {
+		return s.Alpha
+	}
+	return 0.3
+}
+
+func (s *Selector) minSamples() int {
+	if s.MinSamples > 0 {
+		return s.MinSamples
+	}
+	return 3
+}
+
+func (s *Selector) shedErrors() int {
+	if s.ShedErrors > 0 {
+		return s.ShedErrors
+	}
+	return 3
+}
+
+func (s *Selector) shedFraction() float64 {
+	if s.ShedFraction > 0 {
+		return s.ShedFraction
+	}
+	if s.ShedFraction < 0 {
+		return 0
+	}
+	return 0.1
+}
+
+func (s *Selector) stats(m map[string]*linkStats, key string) *linkStats {
+	st := m[key]
+	if st == nil {
+		st = &linkStats{}
+		m[key] = st
+	}
+	return st
+}
+
+// Observe records one completed transfer of n bytes over d from rep.
+// Calls with n <= 0 or d <= 0 are ignored (a zero-length transfer says
+// nothing about bandwidth).
+func (s *Selector) Observe(rep Replica, n int64, d time.Duration) {
+	if s == nil || n <= 0 || d <= 0 {
+		return
+	}
+	bw := float64(n) / d.Seconds()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replicas == nil {
+		s.replicas = make(map[string]*linkStats)
+		s.sites = make(map[string]*linkStats)
+	}
+	a := s.alpha()
+	for _, st := range []*linkStats{s.stats(s.replicas, rep.Addr), s.stats(s.sites, rep.Site)} {
+		if st.samples == 0 {
+			st.bw = bw
+		} else {
+			st.bw = a*bw + (1-a)*st.bw
+		}
+		st.samples++
+		st.errStrk = 0
+		st.lastSeen = time.Now()
+	}
+}
+
+// ObserveError records a failed operation against rep: the error streak
+// grows and the bandwidth EWMA halves, so repeated failures sink the
+// replica in the order and eventually shed it.
+func (s *Selector) ObserveError(rep Replica) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replicas == nil {
+		s.replicas = make(map[string]*linkStats)
+		s.sites = make(map[string]*linkStats)
+	}
+	for _, st := range []*linkStats{s.stats(s.replicas, rep.Addr), s.stats(s.sites, rep.Site)} {
+		st.errStrk++
+		st.bw /= 2
+	}
+}
+
+// Bandwidth returns the replica's bytes/second EWMA (0 if unmeasured).
+func (s *Selector) Bandwidth(addr string) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.replicas[addr]; st != nil {
+		return st.bw
+	}
+	return 0
+}
+
+// SiteBandwidth returns the site's bytes/second EWMA (0 if unmeasured).
+func (s *Selector) SiteBandwidth(site string) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.sites[site]; st != nil {
+		return st.bw
+	}
+	return 0
+}
+
+// score is the sort key of one replica at ordering time.
+type score struct {
+	rep     Replica
+	bw      float64
+	known   bool
+	samples int
+	errs    int
+}
+
+// Order sorts reps in place for a fetch attempt: unmeasured replicas
+// first (optimism buys exploration), then by descending bandwidth EWMA
+// (replica EWMA when present, site EWMA as the fallback for a fresh
+// replica at a known site). Replicas past the error-streak bound or
+// below ShedFraction of the best measured bandwidth are dropped — unless
+// that would drop everything, in which case the original slice returns
+// untouched order aside: a selector must degrade to redirector order,
+// never to "no replicas".
+//
+// A nil selector returns reps unchanged, so the client calls this
+// unconditionally.
+func (s *Selector) Order(reps []Replica) []Replica {
+	if s == nil || len(reps) < 2 {
+		return reps
+	}
+	s.mu.Lock()
+	scores := make([]score, len(reps))
+	best := 0.0
+	for i, rep := range reps {
+		sc := score{rep: rep}
+		if st := s.replicas[rep.Addr]; st != nil && st.samples > 0 {
+			sc.bw, sc.known, sc.samples, sc.errs = st.bw, true, st.samples, st.errStrk
+		} else if st != nil {
+			sc.errs = st.errStrk
+			if site := s.sites[rep.Site]; site != nil && site.samples > 0 {
+				sc.bw, sc.known = site.bw, true
+			}
+		} else if site := s.sites[rep.Site]; site != nil && site.samples > 0 {
+			sc.bw, sc.known = site.bw, true
+		}
+		if sc.bw > best {
+			best = sc.bw
+		}
+		scores[i] = sc
+	}
+	minSamples, shedErrs, frac := s.minSamples(), s.shedErrors(), s.shedFraction()
+	s.mu.Unlock()
+
+	kept := scores[:0]
+	for _, sc := range scores {
+		if sc.errs >= shedErrs {
+			continue
+		}
+		if frac > 0 && sc.known && sc.samples >= minSamples && sc.bw < best*frac {
+			continue
+		}
+		kept = append(kept, sc)
+	}
+	if len(kept) == 0 {
+		return reps // shedding everything helps nobody
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.known != b.known {
+			return !a.known // unmeasured first: explore
+		}
+		if a.bw != b.bw {
+			return a.bw > b.bw
+		}
+		return a.rep.Addr < b.rep.Addr
+	})
+	out := make([]Replica, len(kept))
+	for i, sc := range kept {
+		out[i] = sc.rep
+	}
+	return out
+}

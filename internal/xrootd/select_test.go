@@ -1,0 +1,152 @@
+package xrootd
+
+import (
+	"testing"
+	"time"
+)
+
+func reps(addrs ...string) []Replica {
+	out := make([]Replica, len(addrs))
+	for i, a := range addrs {
+		out[i] = Replica{Site: "S_" + a, Addr: a}
+	}
+	return out
+}
+
+func addrs(rs []Replica) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Addr
+	}
+	return out
+}
+
+func TestSelectorNilAndShortPassthrough(t *testing.T) {
+	var s *Selector
+	in := reps("a", "b")
+	if got := s.Order(in); &got[0] != &in[0] {
+		t.Error("nil selector must return reps unchanged")
+	}
+	s2 := NewSelector()
+	one := reps("a")
+	if got := s2.Order(one); &got[0] != &one[0] {
+		t.Error("single replica must pass through")
+	}
+	s.Observe(Replica{Addr: "a"}, 100, time.Second) // must not panic
+	s.ObserveError(Replica{Addr: "a"})
+}
+
+func TestSelectorOrdersByBandwidth(t *testing.T) {
+	s := NewSelector()
+	// slow: 1 MB/s; fast: 100 MB/s.
+	for i := 0; i < 4; i++ {
+		s.Observe(Replica{Site: "S_slow", Addr: "slow"}, 1<<20, time.Second)
+		s.Observe(Replica{Site: "S_fast", Addr: "fast"}, 100<<20, time.Second)
+	}
+	got := addrs(s.Order(reps("slow", "fast")))
+	if got[0] != "fast" {
+		t.Fatalf("order = %v, want fast first", got)
+	}
+}
+
+func TestSelectorUnmeasuredFirst(t *testing.T) {
+	s := NewSelector()
+	s.Observe(Replica{Site: "S_known", Addr: "known"}, 50<<20, time.Second)
+	got := addrs(s.Order(reps("known", "fresh")))
+	if got[0] != "fresh" {
+		t.Fatalf("order = %v, want unmeasured replica probed first", got)
+	}
+}
+
+func TestSelectorSiteFallback(t *testing.T) {
+	s := NewSelector()
+	// Two replicas at one site; only the first has history. The fresh
+	// replica at a measured site inherits the site EWMA, so it is
+	// "known" and sorts by it rather than jumping the queue.
+	s.Observe(Replica{Site: "siteA", Addr: "a1"}, 10<<20, time.Second)
+	s.Observe(Replica{Site: "siteB", Addr: "b1"}, 100<<20, time.Second)
+	in := []Replica{{Site: "siteA", Addr: "a2"}, {Site: "siteB", Addr: "b2"}}
+	got := addrs(s.Order(in))
+	if got[0] != "b2" {
+		t.Fatalf("order = %v, want b2 (faster site EWMA) first", got)
+	}
+}
+
+func TestSelectorShedsErrorStreak(t *testing.T) {
+	s := NewSelector()
+	for i := 0; i < 3; i++ {
+		s.ObserveError(Replica{Site: "S_bad", Addr: "bad"})
+	}
+	got := addrs(s.Order(reps("bad", "ok")))
+	if len(got) != 1 || got[0] != "ok" {
+		t.Fatalf("order = %v, want bad shed", got)
+	}
+	// One success clears the streak.
+	s.Observe(Replica{Site: "S_bad", Addr: "bad"}, 1<<20, time.Second)
+	if got := s.Order(reps("bad", "ok")); len(got) != 2 {
+		t.Fatalf("order after recovery = %v, want both", addrs(got))
+	}
+}
+
+func TestSelectorShedsConsistentlySlow(t *testing.T) {
+	s := NewSelector()
+	for i := 0; i < 4; i++ {
+		s.Observe(Replica{Site: "S_crawl", Addr: "crawl"}, 1<<10, time.Second) // 1 KB/s
+		s.Observe(Replica{Site: "S_fast", Addr: "fast"}, 100<<20, time.Second)
+	}
+	got := addrs(s.Order(reps("crawl", "fast")))
+	if len(got) != 1 || got[0] != "fast" {
+		t.Fatalf("order = %v, want crawl shed below ShedFraction", got)
+	}
+	// ShedFraction < 0 disables slowness shedding.
+	s.ShedFraction = -1
+	if got := s.Order(reps("crawl", "fast")); len(got) != 2 {
+		t.Fatalf("order with shedding disabled = %v, want both", addrs(got))
+	}
+}
+
+func TestSelectorNeverShedsEverything(t *testing.T) {
+	s := NewSelector()
+	for _, a := range []string{"x", "y"} {
+		for i := 0; i < 3; i++ {
+			s.ObserveError(Replica{Site: "S_" + a, Addr: a})
+		}
+	}
+	in := reps("x", "y")
+	if got := s.Order(in); len(got) != 2 {
+		t.Fatalf("order = %v, must fall back to redirector order", addrs(got))
+	}
+}
+
+func TestSelectorErrorsHalveBandwidth(t *testing.T) {
+	s := NewSelector()
+	rep := Replica{Site: "S_f", Addr: "f"}
+	s.Observe(rep, 100<<20, time.Second)
+	before := s.Bandwidth("f")
+	s.ObserveError(rep)
+	if after := s.Bandwidth("f"); after >= before {
+		t.Fatalf("bandwidth %f not reduced after error (was %f)", after, before)
+	}
+	if s.SiteBandwidth("S_f") >= before {
+		t.Fatal("site bandwidth not reduced after error")
+	}
+}
+
+func TestClientFeedsSelector(t *testing.T) {
+	srv := newServer(t, "T2_Feed")
+	red := NewRedirector()
+	content := make([]byte, 1<<20)
+	rep := srv.Store("/f", content)
+	red.Register("/f", rep)
+	sel := NewSelector()
+	c := &Client{Redirector: red, Consumer: "c", Selector: sel}
+	if _, err := c.Fetch("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Bandwidth(rep.Addr) <= 0 {
+		t.Fatal("fetch did not feed the selector's bandwidth EWMA")
+	}
+	if sel.SiteBandwidth("T2_Feed") <= 0 {
+		t.Fatal("fetch did not feed the site EWMA")
+	}
+}

@@ -4,20 +4,28 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Protocol (one text line per request; binary payloads follow):
 //
 //	open <lfn>                 → "<size>\n" | "-1 <error>\n"
 //	read <lfn> <offset> <len>  → "<n>\n" + n bytes | "-1 <error>\n"
+//	stat <lfn>                 → "<size> <crc32>\n" | "-1 <error>\n"
 //	quit                       → closes the connection
 //
-// read returns fewer than len bytes only at end of file.
+// read returns fewer than len bytes only at end of file. stat carries
+// the IEEE CRC32 of the whole content in lower-case hex: striped
+// multi-replica fetches use it to check that the replicas they are
+// about to stripe across hold the same bytes, and to verify the
+// reassembled output. Servers predating stat answer "-1 unknown
+// command", which clients treat as "no checksum available".
 
 // DataServer serves file content by LFN over TCP for one site.
 type DataServer struct {
@@ -26,12 +34,14 @@ type DataServer struct {
 
 	mu    sync.RWMutex
 	files map[string][]byte
+	crcs  map[string]uint32
 	down  bool // fault injection: refuse all requests
 
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 	reads    atomic.Int64
 	bytesOut atomic.Int64
+	throttle atomic.Int64 // payload bytes/sec per connection; 0 = unthrottled
 }
 
 // NewDataServer starts a data server for site on addr ("127.0.0.1:0").
@@ -40,7 +50,8 @@ func NewDataServer(site, addr string) (*DataServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xrootd: listening: %w", err)
 	}
-	s := &DataServer{site: site, lis: lis, files: make(map[string][]byte)}
+	s := &DataServer{site: site, lis: lis,
+		files: make(map[string][]byte), crcs: make(map[string]uint32)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -57,6 +68,7 @@ func (s *DataServer) Site() string { return s.site }
 func (s *DataServer) Store(lfn string, content []byte) Replica {
 	s.mu.Lock()
 	s.files[lfn] = append([]byte(nil), content...)
+	s.crcs[lfn] = crc32.ChecksumIEEE(content)
 	s.mu.Unlock()
 	return Replica{Site: s.site, Addr: s.Addr()}
 }
@@ -67,6 +79,25 @@ func (s *DataServer) SetDown(down bool) {
 	s.mu.Lock()
 	s.down = down
 	s.mu.Unlock()
+}
+
+// SetThrottle caps each connection's payload rate at bytesPerSec
+// (0 = unthrottled). Loopback runs at memcpy speed; a throttled server
+// models the data-challenge shape instead — a remote storage element
+// whose uplink, not the client NIC, bounds a single stream, which is
+// the regime where striping across replicas pays.
+func (s *DataServer) SetThrottle(bytesPerSec int64) {
+	s.throttle.Store(bytesPerSec)
+}
+
+// pace sleeps long enough after serving n payload bytes to hold the
+// connection at the throttle rate.
+func (s *DataServer) pace(n int) {
+	rate := s.throttle.Load()
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(int64(n) * int64(time.Second) / rate))
 }
 
 // Reads returns the number of read requests served.
@@ -147,6 +178,19 @@ func (s *DataServer) dispatch(line string, w *bufio.Writer) error {
 		}
 		fmt.Fprintf(w, "%d\n", len(content))
 		return nil
+	case "stat":
+		if len(fields) != 2 {
+			return errors.New("usage: stat <lfn>")
+		}
+		s.mu.RLock()
+		content, ok := s.files[fields[1]]
+		crc := s.crcs[fields[1]]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("no such file %s", fields[1])
+		}
+		fmt.Fprintf(w, "%d %08x\n", len(content), crc)
+		return nil
 	case "read":
 		if len(fields) != 4 {
 			return errors.New("usage: read <lfn> <offset> <len>")
@@ -166,7 +210,9 @@ func (s *DataServer) dispatch(line string, w *bufio.Writer) error {
 			off = int64(len(content))
 		}
 		end := off + n
-		if end > int64(len(content)) {
+		if end < off || end > int64(len(content)) {
+			// end < off means off+n overflowed int64; either way the
+			// request reaches past EOF and is truncated there.
 			end = int64(len(content))
 		}
 		chunk := content[off:end]
@@ -176,6 +222,7 @@ func (s *DataServer) dispatch(line string, w *bufio.Writer) error {
 		}
 		s.reads.Add(1)
 		s.bytesOut.Add(int64(len(chunk)))
+		s.pace(len(chunk))
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", fields[0])
